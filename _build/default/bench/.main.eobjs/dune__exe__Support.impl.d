@@ -1,0 +1,1 @@
+bench/support.ml: Float List Prairie_optimizers Prairie_volcano Prairie_workload Printf String Unix

@@ -1,0 +1,96 @@
+(* Shared machinery for the benchmark harness: timing, sweeps, table
+   printing. *)
+
+module W = Prairie_workload
+module Opt = Prairie_optimizers.Optimizers
+module Search = Prairie_volcano.Search
+module Stats = Prairie_volcano.Stats
+
+let seeds = [ 101; 202; 303; 404; 505 ]
+(* the paper varies base-class cardinalities five times per data point *)
+
+let now () = Unix.gettimeofday ()
+
+(* Milliseconds per optimization, averaged over enough repetitions to get a
+   stable reading (the paper loops 3000 times because 1994 clocks were
+   coarse; we adapt the repetition count to the measured cost). *)
+let time_once f =
+  let t0 = now () in
+  f ();
+  now () -. t0
+
+let time_ms f =
+  let first = time_once f in
+  if first > 0.5 then first *. 1000.0
+  else
+    let reps = max 3 (min 200 (int_of_float (0.2 /. Float.max 1e-6 first))) in
+    let t0 = now () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (now () -. t0) /. float_of_int reps *. 1000.0
+
+type point = {
+  joins : int;
+  prairie_ms : float;
+  volcano_ms : float;
+  groups : int;
+  cost : float;
+}
+
+(* One data point of Figures 10-13: average optimization time over the five
+   catalog instances, for both contestants. *)
+let measure_point q ~joins =
+  let instances = W.Queries.instances q ~joins ~seeds in
+  let total_p = ref 0.0 and total_v = ref 0.0 in
+  let groups = ref 0 and cost = ref 0.0 in
+  List.iter
+    (fun (inst : W.Queries.instance) ->
+      let cat = inst.W.Queries.catalog in
+      let prairie = Opt.oodb_prairie cat in
+      let volcano = Opt.oodb_volcano cat in
+      total_p := !total_p +. time_ms (fun () -> ignore (Opt.optimize prairie inst.W.Queries.expr));
+      total_v := !total_v +. time_ms (fun () -> ignore (Opt.optimize volcano inst.W.Queries.expr));
+      let r = Opt.optimize prairie inst.W.Queries.expr in
+      groups := Search.group_count r.Opt.search;
+      cost := r.Opt.cost)
+    instances;
+  let n = float_of_int (List.length instances) in
+  {
+    joins;
+    prairie_ms = !total_p /. n;
+    volcano_ms = !total_v /. n;
+    groups = !groups;
+    cost = !cost;
+  }
+
+(* Sweep the join count until a per-point time budget is exhausted (the
+   paper stops when virtual memory is exhausted; we stop on wall clock). *)
+let sweep q ~max_joins ~budget_s =
+  let rec go acc joins =
+    if joins > max_joins then List.rev acc
+    else
+      let t0 = now () in
+      let pt = measure_point q ~joins in
+      let elapsed = now () -. t0 in
+      if elapsed > budget_s && joins < max_joins then List.rev (pt :: acc)
+      else go (pt :: acc) (joins + 1)
+  in
+  go [] 1
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subheader title = Printf.printf "\n-- %s --\n" title
+
+let print_points name points =
+  Printf.printf "%s\n" name;
+  Printf.printf "  %6s  %12s  %12s  %8s  %10s  %7s\n" "joins" "Prairie(ms)"
+    "Volcano(ms)" "ratio" "groups" "cost";
+  List.iter
+    (fun p ->
+      Printf.printf "  %6d  %12.3f  %12.3f  %7.2f%%  %10d  %7.1f\n" p.joins
+        p.prairie_ms p.volcano_ms
+        ((p.prairie_ms /. Float.max 1e-9 p.volcano_ms -. 1.0) *. 100.0)
+        p.groups p.cost)
+    points

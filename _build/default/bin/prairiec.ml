@@ -1,0 +1,288 @@
+(* prairiec: the Prairie rule-specification compiler front-end.
+
+   Subcommands:
+     check    parse and validate a .prairie file
+     report   run the P2V pre-processor and print the translation report
+     render   export an embedded rule set as .prairie source
+     optimize run a workload query through a rule set
+     sql      compile a SQL-like query, optimize and optionally execute *)
+
+open Cmdliner
+
+module Dsl = Prairie_dsl
+module Explain = Prairie_volcano.Explain
+module P2v = Prairie_p2v
+module W = Prairie_workload
+module Opt = Prairie_optimizers.Optimizers
+
+let default_catalog () =
+  W.Catalogs.make (W.Catalogs.default_spec ~classes:4 ~indexed:true ~seed:1)
+
+let load_ruleset path catalog =
+  try Ok (Dsl.Elaborate.load ~helpers:(Prairie_algebra.Helpers.env catalog) path) with
+  | Dsl.Elaborate.Elab_error errs ->
+    Error (String.concat "\n" (List.map (fun e -> "error: " ^ e) errs))
+  | Dsl.Parser.Parse_error (pos, msg) ->
+    Error
+      (Format.asprintf "%s: parse error at %a: %s" path Dsl.Lexer.pp_position
+         pos msg)
+  | Dsl.Lexer.Lex_error (pos, msg) ->
+    Error
+      (Format.asprintf "%s: lexical error at %a: %s" path Dsl.Lexer.pp_position
+         pos msg)
+  | Sys_error msg -> Error msg
+
+let embedded = function
+  | "relational" -> Ok (Prairie_algebra.Relational.ruleset (default_catalog ()))
+  | "oodb" -> Ok (Prairie_algebra.Oodb.ruleset (default_catalog ()))
+  | other ->
+    Error (Printf.sprintf "unknown embedded rule set %S (have: relational, oodb)" other)
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ] ~doc:"Trace the search engine (rule firings, winners).")
+
+let setup_verbose v =
+  if v then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.Src.set_level Prairie_volcano.Search.log_src (Some Logs.Debug)
+  end
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Rule-specification file (.prairie).")
+
+(* ---------------- check ---------------- *)
+
+let check_cmd =
+  let run path =
+    match load_ruleset path (default_catalog ()) with
+    | Ok rs ->
+      Printf.printf "%s: OK (%d T-rules, %d I-rules)\n" path
+        (Prairie.Ruleset.trule_count rs)
+        (Prairie.Ruleset.irule_count rs);
+      `Ok ()
+    | Error msg ->
+      prerr_endline msg;
+      `Error (false, "validation failed")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and validate a rule-specification file.")
+    Term.(ret (const run $ file_arg))
+
+(* ---------------- report ---------------- *)
+
+let report_cmd =
+  let compose =
+    Arg.(
+      value & opt bool true
+      & info [ "compose" ] ~doc:"Enable rule merging/composition (§3.3).")
+  in
+  let run path compose =
+    match load_ruleset path (default_catalog ()) with
+    | Ok rs ->
+      let tr = P2v.Translate.translate ~compose rs in
+      Format.printf "%a@." P2v.Report.pp (P2v.Report.of_translation tr);
+      `Ok ()
+    | Error msg ->
+      prerr_endline msg;
+      `Error (false, "translation failed")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run the P2V pre-processor and print the translation report.")
+    Term.(ret (const run $ file_arg $ compose))
+
+(* ---------------- render ---------------- *)
+
+let render_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Embedded rule set: relational or oodb.")
+  in
+  let run name =
+    match embedded name with
+    | Ok rs ->
+      print_string (Dsl.Render.ruleset_to_string rs);
+      `Ok ()
+    | Error msg ->
+      prerr_endline msg;
+      `Error (false, "unknown rule set")
+  in
+  Cmd.v
+    (Cmd.info "render"
+       ~doc:"Print an embedded rule set as .prairie source (exportable).")
+    Term.(ret (const run $ name_arg))
+
+(* ---------------- optimize ---------------- *)
+
+let optimize_cmd =
+  let query_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "query"; "q" ] ~docv:"N" ~doc:"Workload query Q$(docv) (1-8).")
+  in
+  let joins_arg =
+    Arg.(value & opt int 2 & info [ "joins"; "n" ] ~docv:"N" ~doc:"Number of joins.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Catalog seed.")
+  in
+  let ruleset_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "ruleset"; "r" ] ~docv:"FILE"
+          ~doc:"Rule file to use instead of the embedded OODB rule set.")
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt (enum [ ("top-down", `Top_down); ("bottom-up", `Bottom_up) ]) `Top_down
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:"Search strategy: $(b,top-down) (Volcano) or $(b,bottom-up)                 (System R dynamic programming).")
+  in
+  let run qn joins seed ruleset_path strategy verbose =
+    setup_verbose verbose;
+    match W.Queries.of_int qn with
+    | None -> `Error (false, "query number must be 1-8")
+    | Some q -> (
+      let inst = W.Queries.instance q ~joins ~seed in
+      let catalog = inst.W.Queries.catalog in
+      let ruleset_result =
+        match ruleset_path with
+        | None -> Ok (Prairie_algebra.Oodb.ruleset catalog)
+        | Some path -> load_ruleset path catalog
+      in
+      match ruleset_result with
+      | Error msg ->
+        prerr_endline msg;
+        `Error (false, "could not load the rule set")
+      | Ok rs ->
+        let tr = P2v.Translate.translate rs in
+        let opt =
+          {
+            Opt.name = rs.Prairie.Ruleset.name;
+            volcano = tr.P2v.Translate.volcano;
+            prepare = P2v.Translate.prepare_query tr;
+          }
+        in
+        Format.printf "query %s (%d joins, seed %d): %a@." (W.Queries.name q)
+          joins seed Prairie.Expr.pp inst.W.Queries.expr;
+        (match strategy with
+        | `Top_down -> (
+          let r = Opt.optimize opt inst.W.Queries.expr in
+          match r.Opt.plan with
+          | Some plan ->
+            Format.printf "@.best plan: %s@.@." (Explain.summary plan);
+            Format.printf "%a" Explain.pp plan;
+            Format.printf "@.%a@." Prairie_volcano.Stats.pp
+              (Prairie_volcano.Search.stats r.Opt.search)
+          | None -> print_endline "no plan found")
+        | `Bottom_up -> (
+          let expr, required = opt.Opt.prepare inst.W.Queries.expr in
+          let r = Prairie_volcano.Bottom_up.optimize ~required opt.Opt.volcano expr in
+          match r.Prairie_volcano.Bottom_up.plan with
+          | Some plan ->
+            Format.printf "@.best plan (bottom-up): %s@.@." (Explain.summary plan);
+            Format.printf "%a" Explain.pp plan;
+            Format.printf
+              "@.%d groups, %d (group, requirement) DP entries, %d plans costed@."
+              r.Prairie_volcano.Bottom_up.groups_explored
+              r.Prairie_volcano.Bottom_up.requirements_considered
+              r.Prairie_volcano.Bottom_up.plans_costed
+          | None -> print_endline "no plan found"));
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Optimize a workload query with a rule set.")
+    Term.(
+      ret
+        (const run $ query_arg $ joins_arg $ seed_arg $ ruleset_arg
+       $ strategy_arg $ verbose_arg))
+
+(* ---------------- sql ---------------- *)
+
+let sql_cmd =
+  let query_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SQL"
+          ~doc:
+            "Query text, e.g. 'select * from C1, C2 where C1.rC1 = C2.oid \
+             and C1.bC1 = 3'.")
+  in
+  let classes_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "classes" ] ~docv:"N" ~doc:"Catalog size (classes C1..CN).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Catalog seed.")
+  in
+  let execute_arg =
+    Arg.(
+      value & flag
+      & info [ "execute"; "x" ]
+          ~doc:"Generate synthetic data and run the winning plan.")
+  in
+  let run sql classes seed execute verbose =
+    setup_verbose verbose;
+    let catalog =
+      W.Catalogs.make (W.Catalogs.default_spec ~classes ~indexed:true ~seed)
+    in
+    match Prairie_query.Query.compile_string catalog sql with
+    | exception Prairie_query.Query.Error msg ->
+      prerr_endline ("error: " ^ msg);
+      `Error (false, "bad query")
+    | expr -> (
+      Format.printf "operator tree: %a@." Prairie.Expr.pp expr;
+      let r = Opt.optimize (Opt.oodb_prairie catalog) expr in
+      match r.Opt.plan with
+      | None ->
+        print_endline "no plan found";
+        `Ok ()
+      | Some plan ->
+        Format.printf "@.best plan: %s@.@." (Explain.summary plan);
+        Format.printf "%a" Explain.pp plan;
+        if execute then begin
+          let db = Prairie_executor.Data_gen.database ~seed:(seed * 31) catalog in
+          let schema, rows = Prairie_executor.Compile.execute_plan db plan in
+          Format.printf "@.%d result tuples@." (List.length rows);
+          List.iteri
+            (fun i row ->
+              if i < 10 then
+                Format.printf "  %a@." (Prairie_executor.Tuple.pp schema) row)
+            rows;
+          if List.length rows > 10 then
+            Format.printf "  ... (%d more)@." (List.length rows - 10)
+        end;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:
+         "Compile a SQL-like query over a synthetic catalog, optimize it, \
+          and optionally execute the plan.")
+    Term.(
+      ret
+        (const run $ query_arg $ classes_arg $ seed_arg $ execute_arg
+       $ verbose_arg))
+
+let () =
+  let info =
+    Cmd.info "prairiec" ~version:"1.0.0"
+      ~doc:
+        "The Prairie rule-specification framework: validate, translate \
+         (P2V) and run rule-based query optimizers."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ check_cmd; report_cmd; render_cmd; optimize_cmd; sql_cmd ]))

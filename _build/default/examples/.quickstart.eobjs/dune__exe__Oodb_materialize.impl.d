@@ -1,0 +1,1 @@
+examples/oodb_materialize.ml: Float Format List Prairie Prairie_optimizers Prairie_volcano Prairie_workload

@@ -1,0 +1,1 @@
+examples/rulefile_demo.ml: Filename Format Prairie Prairie_algebra Prairie_catalog Prairie_dsl Prairie_p2v Prairie_value Prairie_volcano String Sys

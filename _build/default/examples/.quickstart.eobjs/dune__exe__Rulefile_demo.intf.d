@@ -1,0 +1,1 @@
+examples/rulefile_demo.mli:

@@ -1,0 +1,60 @@
+(* Quickstart: define a catalog, write a query, optimize it.
+
+     dune exec examples/quickstart.exe
+
+   The pipeline is the paper's Figure 8: a Prairie rule set is translated
+   by the P2V pre-processor into a Volcano rule set, and the Volcano search
+   engine finds the cheapest access plan. *)
+
+module Catalog = Prairie_catalog.Catalog
+module Rel = Prairie_algebra.Relational
+module A = Prairie_value.Attribute
+module P = Prairie_value.Predicate
+
+let attr owner name = A.make ~owner ~name
+let ( === ) a b = P.Cmp (P.Eq, P.T_attr a, P.T_attr b)
+
+let () =
+  (* 1. A catalog: two relations, one indexed. *)
+  let catalog =
+    Catalog.of_files
+      [
+        Rel.relation ~name:"emp" ~cardinality:10_000 ~indexes:[ "dept" ]
+          [ ("dept", 100); ("salary", 1000) ];
+        Rel.relation ~name:"dept" ~cardinality:100 [ ("dept", 100); ("city", 25) ];
+      ]
+  in
+
+  (* 2. The paper's Section 2 rule set: RET/JOIN/SORT with File_scan,
+        Index_scan, Nested_loops, Merge_join, Merge_sort and Null. *)
+  let ruleset = Rel.ruleset catalog in
+  Format.printf "Prairie rule set %S: %d T-rules, %d I-rules@."
+    ruleset.Prairie.Ruleset.name
+    (Prairie.Ruleset.trule_count ruleset)
+    (Prairie.Ruleset.irule_count ruleset);
+
+  (* 3. Run the P2V pre-processor. *)
+  let translation = Prairie_p2v.Translate.translate ruleset in
+  Format.printf "@.%a@.@." Prairie_p2v.Report.pp
+    (Prairie_p2v.Report.of_translation translation);
+
+  (* 4. An initialized operator tree: emp JOIN dept, with a selection
+        folded into the retrieval of emp. *)
+  let query =
+    Rel.join catalog
+      ~pred:(attr "emp" "dept" === attr "dept" "dept")
+      (Rel.ret catalog ~pred:(P.Cmp (P.Eq, P.T_attr (attr "emp" "dept"), P.T_int 7)) "emp")
+      (Rel.ret catalog "dept")
+  in
+  Format.printf "query: %a@." Prairie.Expr.pp query;
+
+  (* 5. Optimize. *)
+  let search = Prairie_volcano.Search.create translation.Prairie_p2v.Translate.volcano in
+  match Prairie_volcano.Search.optimize search query with
+  | None -> print_endline "no plan found"
+  | Some plan ->
+    Format.printf "@.best plan (cost %.2f):@.%a@."
+      (Prairie_volcano.Plan.cost plan)
+      Prairie_volcano.Plan.pp_verbose plan;
+    Format.printf "@.search explored %d equivalence classes@."
+      (Prairie_volcano.Search.group_count search)

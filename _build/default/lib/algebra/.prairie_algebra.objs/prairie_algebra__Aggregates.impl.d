@@ -1,0 +1,1 @@
+lib/algebra/aggregates.ml: Action Build Helpers List Names Prairie Prairie_catalog Prairie_value Props Relational

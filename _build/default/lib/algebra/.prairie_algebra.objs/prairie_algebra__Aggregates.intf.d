@@ -1,0 +1,1 @@
+lib/algebra/aggregates.mli: Prairie Prairie_catalog Prairie_value

@@ -1,0 +1,1 @@
+lib/algebra/build.ml: Prairie Prairie_value

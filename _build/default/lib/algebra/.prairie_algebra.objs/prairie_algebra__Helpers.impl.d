@@ -1,0 +1,1 @@
+lib/algebra/helpers.ml: Cost_model List Option Prairie Prairie_catalog Prairie_value Printf String

@@ -1,0 +1,1 @@
+lib/algebra/helpers.mli: Prairie Prairie_catalog Prairie_value

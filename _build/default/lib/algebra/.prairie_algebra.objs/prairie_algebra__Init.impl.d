@@ -1,0 +1,1 @@
+lib/algebra/init.ml: Helpers List Names Prairie Prairie_catalog Prairie_value

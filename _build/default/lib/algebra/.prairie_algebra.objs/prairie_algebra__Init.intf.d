@@ -1,0 +1,1 @@
+lib/algebra/init.mli: Prairie Prairie_catalog Prairie_value

@@ -1,0 +1,1 @@
+lib/algebra/names.ml: Prairie

@@ -1,0 +1,1 @@
+lib/algebra/oodb.ml: Action Build Helpers Init Names Prairie Prairie_value Props

@@ -1,0 +1,1 @@
+lib/algebra/oodb.mli: Prairie Prairie_catalog Prairie_value

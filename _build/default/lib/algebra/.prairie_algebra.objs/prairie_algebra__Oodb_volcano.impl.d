@@ -1,0 +1,1 @@
+lib/algebra/oodb_volcano.ml: Array Build Cost_model Helpers List Names Prairie Prairie_catalog Prairie_value Prairie_volcano String

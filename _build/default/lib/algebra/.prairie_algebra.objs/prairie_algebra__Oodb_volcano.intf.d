@@ -1,0 +1,1 @@
+lib/algebra/oodb_volcano.mli: Prairie Prairie_catalog Prairie_volcano

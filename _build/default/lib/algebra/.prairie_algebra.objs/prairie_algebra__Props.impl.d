@@ -1,0 +1,1 @@
+lib/algebra/props.ml: Names Prairie Prairie_value

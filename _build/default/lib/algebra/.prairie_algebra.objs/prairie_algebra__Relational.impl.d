@@ -1,0 +1,1 @@
+lib/algebra/relational.ml: Action Build Helpers Init List Names Prairie Prairie_catalog Prairie_value Props

@@ -1,0 +1,1 @@
+lib/algebra/relational.mli: Prairie Prairie_catalog Prairie_value

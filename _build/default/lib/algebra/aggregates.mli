@@ -1,0 +1,33 @@
+(** An aggregation add-on rule set: group-and-count.
+
+    A small rule-set {e fragment} meant to be combined with the relational
+    optimizer via {!Prairie.Ruleset.combine} — §6's rule-set combination in
+    earnest.  One operator, AGG (group by a list of attributes, count each
+    group), and two implementations showing the classic enforcer-driven
+    trade-off:
+
+    - [Hash_agg]: any input order, pays hash build/probe per tuple,
+      delivers no order;
+    - [Sort_agg]: {e requires} its input sorted on the group attributes
+      (the SORT enforcer or an order-delivering scan provides it), counts
+      group boundaries on the fly, and delivers the group order for free.
+
+    The count column appears in the output as the synthetic attribute
+    [agg.count]. *)
+
+val count_attr : Prairie_value.Attribute.t
+(** The synthetic output attribute [agg.count]. *)
+
+val fragment : Prairie_catalog.Catalog.t -> Prairie.Ruleset.t
+(** The AGG rules alone (no T-rules; two I-rules). *)
+
+val extended_relational : Prairie_catalog.Catalog.t -> Prairie.Ruleset.t
+(** [Ruleset.combine] of {!Relational.ruleset} and {!fragment}. *)
+
+val agg :
+  Prairie_catalog.Catalog.t ->
+  by:Prairie_value.Attribute.t list ->
+  Prairie.Expr.t ->
+  Prairie.Expr.t
+(** The initialized AGG operator tree: estimated output cardinality is the
+    (saturating) product of the group attributes' distinct counts. *)

@@ -1,0 +1,68 @@
+let page_size = 4096
+let cpu_per_tuple = 0.005
+let deref_cost = 0.6
+
+let pages ~card ~tuple_size =
+  Float.max 1.0 (float_of_int (card * tuple_size) /. float_of_int page_size)
+
+let file_scan ~card ~tuple_size = pages ~card ~tuple_size
+
+let index_scan ~card ~tuple_size ~selectivity =
+  let matching = Float.max 1.0 (float_of_int card *. selectivity) in
+  let fetch = Float.min (pages ~card ~tuple_size) matching in
+  2.0 +. fetch
+
+let nested_loops ~outer_cost ~outer_card ~inner_cost =
+  outer_cost +. (float_of_int outer_card *. inner_cost)
+
+let merge_join ~left_cost ~right_cost ~left_card ~right_card =
+  left_cost +. right_cost
+  +. (cpu_per_tuple *. float_of_int (left_card + right_card))
+
+let hash_join ~left_cost ~right_cost ~left_card ~right_card =
+  left_cost +. right_cost
+  +. (3.0 *. cpu_per_tuple *. float_of_int (left_card + right_card))
+
+let pointer_deref_cost = 0.02
+
+(* The inner access cost is included: the target class's pages must be
+   resident for the dereferences to hit.  Keeping every algorithm's cost at
+   least the sum of its input costs is what makes the search engine's
+   branch-and-bound limits safe. *)
+let pointer_join ~outer_cost ~inner_cost ~outer_card =
+  outer_cost +. inner_cost +. (pointer_deref_cost *. float_of_int outer_card)
+
+let log2 x = if x <= 1.0 then 0.0 else Float.log x /. Float.log 2.0
+
+let merge_sort ~input_cost ~card =
+  let n = float_of_int card in
+  input_cost +. (cpu_per_tuple *. n *. log2 n)
+
+let filter ~input_cost ~input_card =
+  input_cost +. (cpu_per_tuple *. float_of_int input_card)
+
+let project ~input_cost ~input_card =
+  input_cost +. (cpu_per_tuple *. float_of_int input_card)
+
+let mat_ordered ~input_cost ~card =
+  input_cost +. (deref_cost *. float_of_int card)
+
+let mat_unordered ~input_cost ~card =
+  input_cost +. (0.25 *. deref_cost *. float_of_int card)
+
+(* hash aggregation pays build+probe per tuple; sort-based aggregation
+   only counts group boundaries on an already-sorted stream *)
+let hash_agg ~input_cost ~input_card =
+  input_cost +. (3.0 *. cpu_per_tuple *. float_of_int input_card)
+
+let sort_agg ~input_cost ~input_card =
+  input_cost +. (cpu_per_tuple *. float_of_int input_card)
+
+(* network transfer at twice the per-page disk cost *)
+let network_page_factor = 2.0
+
+let ship ~input_cost ~card ~tuple_size =
+  input_cost +. (network_page_factor *. pages ~card ~tuple_size)
+
+let unnest ~input_cost ~output_card =
+  input_cost +. (cpu_per_tuple *. float_of_int output_card)

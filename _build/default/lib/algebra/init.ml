@@ -1,0 +1,138 @@
+module Value = Prairie_value.Value
+module Attribute = Prairie_value.Attribute
+module Predicate = Prairie_value.Predicate
+module Order = Prairie_value.Order
+module Catalog = Prairie_catalog.Catalog
+module Stats = Prairie_catalog.Stats
+module Stored_file = Prairie_catalog.Stored_file
+module Descriptor = Prairie.Descriptor
+module Expr = Prairie.Expr
+module N = Names
+
+let file_descriptor catalog name =
+  let f =
+    match Catalog.find catalog name with
+    | Some f -> f
+    | None -> raise Not_found
+  in
+  Descriptor.of_list
+    [
+      (N.p_file_name, Value.Str name);
+      ( N.p_attributes,
+        Value.Attrs
+          (List.sort Attribute.compare (Stored_file.attributes f)) );
+      (N.p_num_records, Value.Int f.Stored_file.cardinality);
+      (N.p_tuple_size, Value.Int f.Stored_file.tuple_size);
+      ( N.p_indexes,
+        Value.Attrs
+          (List.sort Attribute.compare
+             (List.map (fun ix -> ix.Stored_file.on) f.Stored_file.indexes)) );
+    ]
+
+let file catalog name = Expr.stored ~desc:(file_descriptor catalog name) name
+
+let get_attrs d = Descriptor.get_attrs d N.p_attributes
+let get_card d = Descriptor.get_int d N.p_num_records
+let get_size d = Descriptor.get_int d N.p_tuple_size
+
+let ret ?(pred = Predicate.True) catalog name =
+  let fd = file_descriptor catalog name in
+  let desc =
+    Descriptor.of_list
+      [
+        (N.p_selection_predicate, Value.Pred pred);
+        (N.p_attributes, Value.Attrs (get_attrs fd));
+        ( N.p_num_records,
+          Value.Int (Stats.select_cardinality catalog ~input:(get_card fd) pred)
+        );
+        (N.p_tuple_size, Value.Int (get_size fd));
+      ]
+  in
+  Expr.operator N.ret desc [ file catalog name ]
+
+let join catalog ~pred left right =
+  let dl = Expr.descriptor left and dr = Expr.descriptor right in
+  let desc =
+    Descriptor.of_list
+      [
+        (N.p_join_predicate, Value.Pred pred);
+        ( N.p_attributes,
+          Value.Attrs (Helpers.F.union_attrs (get_attrs dl) (get_attrs dr)) );
+        ( N.p_num_records,
+          Value.Int
+            (Stats.join_cardinality catalog ~left:(get_card dl)
+               ~right:(get_card dr) pred) );
+        (N.p_tuple_size, Value.Int (get_size dl + get_size dr));
+      ]
+  in
+  Expr.operator N.join desc [ left; right ]
+
+let select catalog ~pred input =
+  let di = Expr.descriptor input in
+  let desc =
+    Descriptor.of_list
+      [
+        (N.p_selection_predicate, Value.Pred pred);
+        (N.p_attributes, Value.Attrs (get_attrs di));
+        ( N.p_num_records,
+          Value.Int (Stats.select_cardinality catalog ~input:(get_card di) pred)
+        );
+        (N.p_tuple_size, Value.Int (get_size di));
+      ]
+  in
+  Expr.operator N.select desc [ input ]
+
+let project _catalog ~attrs input =
+  let di = Expr.descriptor input in
+  let all = get_attrs di in
+  let attrs = List.sort_uniq Attribute.compare attrs in
+  let size =
+    let n_all = max 1 (List.length all) in
+    max 8 (get_size di * List.length attrs / n_all)
+  in
+  let desc =
+    Descriptor.of_list
+      [
+        (N.p_projected_attributes, Value.Attrs attrs);
+        (N.p_attributes, Value.Attrs attrs);
+        (N.p_num_records, Value.Int (get_card di));
+        (N.p_tuple_size, Value.Int size);
+      ]
+  in
+  Expr.operator N.project desc [ input ]
+
+let mat catalog ~attr input =
+  let di = Expr.descriptor input in
+  let added = Helpers.F.mat_added_attrs catalog [ attr ] in
+  let desc =
+    Descriptor.of_list
+      [
+        (N.p_mat_attribute, Value.Attrs [ attr ]);
+        (N.p_attributes, Value.Attrs (Helpers.F.union_attrs (get_attrs di) added));
+        (N.p_num_records, Value.Int (get_card di));
+        ( N.p_tuple_size,
+          Value.Int (get_size di + Helpers.F.mat_added_size catalog [ attr ]) );
+      ]
+  in
+  Expr.operator N.mat desc [ input ]
+
+let unnest catalog ~attr input =
+  let di = Expr.descriptor input in
+  let fanout = Helpers.F.unnest_fanout catalog [ attr ] in
+  let desc =
+    Descriptor.of_list
+      [
+        (N.p_unnest_attribute, Value.Attrs [ attr ]);
+        (N.p_attributes, Value.Attrs (get_attrs di));
+        (N.p_num_records, Value.Int (get_card di * fanout));
+        (N.p_tuple_size, Value.Int (get_size di));
+      ]
+  in
+  Expr.operator N.unnest desc [ input ]
+
+let sort _catalog ~order input =
+  let di = Expr.descriptor input in
+  let desc = Descriptor.set di N.p_tuple_order (Value.Order order) in
+  let desc = Descriptor.remove desc N.p_selection_predicate in
+  let desc = Descriptor.remove desc N.p_join_predicate in
+  Expr.operator N.sort desc [ input ]

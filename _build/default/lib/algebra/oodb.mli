@@ -1,0 +1,60 @@
+(** The Texas Instruments Open OODB query optimizer rule set (paper §4).
+
+    The algebra of §4.3: five relational operators — SELECT, PROJECT, JOIN,
+    RET, UNNEST — and the object-oriented MAT (materialize, a
+    pointer-chasing operator), plus the enforcer-operator SORT.  Eight
+    algorithms: File_scan, Index_scan, Hash_join, Pointer_join, Filter,
+    Project_alg, Mat_deref and Unnest_scan (Mat_deref appears in two
+    I-rules with different property mappings — the per-rule advantage of
+    §3.2.2), plus Merge_sort and Null.
+
+    The Prairie rule set has {b 22 T-rules and 11 I-rules}; the P2V
+    pre-processor compacts it to {b 17 trans_rules, 9 impl_rules and 1
+    enforcer} — the arithmetic reported in §4.2. *)
+
+val ruleset : Prairie_catalog.Catalog.t -> Prairie.Ruleset.t
+
+(** {1 Query constructors} — re-exports of {!Init}. *)
+
+val ret :
+  ?pred:Prairie_value.Predicate.t ->
+  Prairie_catalog.Catalog.t ->
+  string ->
+  Prairie.Expr.t
+
+val join :
+  Prairie_catalog.Catalog.t ->
+  pred:Prairie_value.Predicate.t ->
+  Prairie.Expr.t ->
+  Prairie.Expr.t ->
+  Prairie.Expr.t
+
+val select :
+  Prairie_catalog.Catalog.t ->
+  pred:Prairie_value.Predicate.t ->
+  Prairie.Expr.t ->
+  Prairie.Expr.t
+
+val project :
+  Prairie_catalog.Catalog.t ->
+  attrs:Prairie_value.Attribute.t list ->
+  Prairie.Expr.t ->
+  Prairie.Expr.t
+
+val mat :
+  Prairie_catalog.Catalog.t ->
+  attr:Prairie_value.Attribute.t ->
+  Prairie.Expr.t ->
+  Prairie.Expr.t
+
+val unnest :
+  Prairie_catalog.Catalog.t ->
+  attr:Prairie_value.Attribute.t ->
+  Prairie.Expr.t ->
+  Prairie.Expr.t
+
+val sort :
+  Prairie_catalog.Catalog.t ->
+  order:Prairie_value.Order.t ->
+  Prairie.Expr.t ->
+  Prairie.Expr.t

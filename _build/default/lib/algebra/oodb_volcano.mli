@@ -1,0 +1,19 @@
+(** The hand-coded Volcano version of the Open OODB optimizer.
+
+    The paper's §4 baseline: the same 17 trans_rules, 9 impl_rules and 1
+    enforcer that P2V generates from {!Oodb.ruleset}, but written directly
+    against the Volcano rule interface as native OCaml closures — the
+    analog of the original's hand-written C support functions.  It calls
+    the same {!Cost_model} and {!Helpers.F} functions and performs the same
+    descriptor updates in the same order, so it must produce byte-identical
+    descriptors, costs and memo contents as the P2V-generated optimizer;
+    the equivalence tests assert exactly that.  Performance differences
+    between the two are therefore attributable purely to P2V's interpreted
+    action statements versus native code. *)
+
+val ruleset : Prairie_catalog.Catalog.t -> Prairie_volcano.Rule.ruleset
+
+val prepare_query :
+  Prairie.Expr.t -> Prairie.Expr.t * Prairie.Descriptor.t
+(** Strip root SORT operators into required physical properties, as
+    {!Prairie_p2v.Translate.prepare_query} does for the generated set. *)

@@ -1,0 +1,26 @@
+(* The declared property list shared by both concrete optimizers (paper
+   Table 2 plus the OODB additions).  Prairie deliberately keeps this a
+   flat, uniform list: only the COST type is meaningful to the
+   pre-processor; the physical/argument split is inferred from the rules. *)
+
+module Value = Prairie_value.Value
+module Property = Prairie.Property
+module N = Names
+
+let schema : Property.schema =
+  [
+    Property.declare N.p_attributes Value.T_attrs;
+    Property.declare N.p_num_records Value.T_int;
+    Property.declare N.p_tuple_size Value.T_int;
+    Property.declare N.p_tuple_order Value.T_order;
+    Property.declare N.p_selection_predicate Value.T_pred;
+    Property.declare N.p_join_predicate Value.T_pred;
+    Property.declare N.p_projected_attributes Value.T_attrs;
+    Property.declare N.p_mat_attribute Value.T_attrs;
+    Property.declare N.p_unnest_attribute Value.T_attrs;
+    Property.declare N.p_indexes Value.T_attrs;
+    Property.declare N.p_file_name Value.T_string;
+    Property.declare N.p_group_attributes Value.T_attrs;
+    Property.declare N.p_site Value.T_string;
+    Property.declare N.p_cost Value.T_cost;
+  ]

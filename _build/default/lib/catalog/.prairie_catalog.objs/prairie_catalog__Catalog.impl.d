@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Format List Map Prairie_value Stored_file String

@@ -1,0 +1,1 @@
+lib/catalog/catalog.mli: Format Prairie_value Stored_file

@@ -1,0 +1,1 @@
+lib/catalog/stats.ml: Catalog Float List Prairie_value

@@ -1,0 +1,1 @@
+lib/catalog/stats.mli: Catalog Prairie_value

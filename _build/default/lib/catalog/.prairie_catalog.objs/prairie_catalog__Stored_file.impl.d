@@ -1,0 +1,1 @@
+lib/catalog/stored_file.ml: Format List Option Prairie_value String

@@ -1,0 +1,1 @@
+lib/catalog/stored_file.mli: Format Prairie_value

@@ -1,0 +1,60 @@
+module Predicate = Prairie_value.Predicate
+module Attribute = Prairie_value.Attribute
+
+let default_page_size = 4096
+let clamp01 s = Float.max 0.0 (Float.min 1.0 s)
+let range_selectivity = 1.0 /. 3.0
+
+let rec selectivity catalog (p : Predicate.t) =
+  match p with
+  | True -> 1.0
+  | False -> 0.0
+  | Cmp (c, t1, t2) -> cmp_selectivity catalog c t1 t2
+  | And (a, b) -> selectivity catalog a *. selectivity catalog b
+  | Or (a, b) ->
+    let sa = selectivity catalog a and sb = selectivity catalog b in
+    clamp01 (sa +. sb -. (sa *. sb))
+  | Not a -> clamp01 (1.0 -. selectivity catalog a)
+
+and cmp_selectivity catalog c t1 t2 =
+  let open Predicate in
+  let eq_sel attr = 1.0 /. float_of_int (Catalog.distinct_of catalog attr) in
+  match (c, t1, t2) with
+  | Eq, T_attr a, T_attr b ->
+    1.0
+    /. float_of_int
+         (max (Catalog.distinct_of catalog a) (Catalog.distinct_of catalog b))
+  | Eq, T_attr a, _ | Eq, _, T_attr a -> eq_sel a
+  | Ne, T_attr a, _ | Ne, _, T_attr a -> clamp01 (1.0 -. eq_sel a)
+  | (Lt | Le | Gt | Ge), _, _ -> range_selectivity
+  | (Eq | Ne), _, _ -> 0.5
+
+let join_selectivity catalog p =
+  let pairs = Predicate.equality_pairs p in
+  let eq_sel =
+    List.fold_left
+      (fun acc (a, b) ->
+        acc
+        /. float_of_int
+             (max
+                (Catalog.distinct_of catalog a)
+                (Catalog.distinct_of catalog b)))
+      1.0 pairs
+  in
+  let other =
+    List.filter
+      (function Predicate.Cmp (Eq, T_attr _, T_attr _) -> false | _ -> true)
+      (Predicate.conjuncts p)
+  in
+  clamp01 (eq_sel *. (0.1 ** float_of_int (List.length other)))
+
+let scale input s =
+  if input <= 0 then 0 else max 1 (int_of_float (ceil (float_of_int input *. s)))
+
+let select_cardinality catalog ~input p = scale input (selectivity catalog p)
+
+let join_cardinality catalog ~left ~right p =
+  scale (left * right) (join_selectivity catalog p)
+
+let pages ~cardinality ~tuple_size =
+  max 1 ((cardinality * tuple_size + default_page_size - 1) / default_page_size)

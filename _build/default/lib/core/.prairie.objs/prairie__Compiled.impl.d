@@ -1,0 +1,1 @@
+lib/core/compiled.ml: Action Descriptor Eval Helper_env List Pattern Prairie_value Printf

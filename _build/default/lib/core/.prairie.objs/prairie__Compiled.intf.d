@@ -1,0 +1,1 @@
+lib/core/compiled.mli: Action Helper_env Pattern Prairie_value

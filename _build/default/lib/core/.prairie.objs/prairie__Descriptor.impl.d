@@ -1,0 +1,1 @@
+lib/core/descriptor.ml: Format Hashtbl List Map Prairie_value String

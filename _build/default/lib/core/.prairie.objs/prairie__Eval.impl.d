@@ -1,0 +1,1 @@
+lib/core/eval.ml: Action Descriptor Expr Helper_env Irule List Pattern Prairie_value Printf Trule

@@ -1,0 +1,1 @@
+lib/core/eval.mli: Action Expr Helper_env Irule Pattern Prairie_value Trule

@@ -1,0 +1,1 @@
+lib/core/expr.ml: Descriptor Format Hashtbl List Stdlib String

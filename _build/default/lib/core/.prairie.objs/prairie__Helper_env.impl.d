@@ -1,0 +1,1 @@
+lib/core/helper_env.ml: Float List Map Prairie_value Printf String

@@ -1,0 +1,1 @@
+lib/core/helper_env.mli: Prairie_value

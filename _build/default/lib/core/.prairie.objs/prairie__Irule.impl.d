@@ -1,0 +1,1 @@
+lib/core/irule.ml: Action Format List Pattern Printf String

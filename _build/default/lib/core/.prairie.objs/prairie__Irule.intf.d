@@ -1,0 +1,1 @@
+lib/core/irule.mli: Action Format Pattern

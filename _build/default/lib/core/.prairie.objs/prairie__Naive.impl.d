@@ -1,0 +1,1 @@
+lib/core/naive.ml: Descriptor Eval Expr Hashtbl Irule List Queue Ruleset Set

@@ -1,0 +1,1 @@
+lib/core/pattern.ml: Descriptor Expr Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/core/property.ml: Format List Option Prairie_value Printf String

@@ -1,0 +1,1 @@
+lib/core/ruleset.ml: Action Format Helper_env Irule List Pattern Printf Property String Trule

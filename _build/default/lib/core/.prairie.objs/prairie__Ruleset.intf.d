@@ -1,0 +1,1 @@
+lib/core/ruleset.mli: Format Helper_env Irule Property Trule

@@ -1,0 +1,1 @@
+lib/core/trule.ml: Action Format List Pattern Printf

@@ -1,0 +1,1 @@
+lib/core/trule.mli: Action Format Pattern

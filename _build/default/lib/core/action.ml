@@ -1,0 +1,127 @@
+module Value = Prairie_value.Value
+module Predicate = Prairie_value.Predicate
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | And
+  | Or
+  | Cmp of Predicate.comparison
+
+type unop =
+  | Not
+  | Neg
+
+type expr =
+  | Const of Value.t
+  | Desc of string
+  | Prop of string * string
+  | Call of string * expr list
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type stmt =
+  | Assign_desc of string * expr
+  | Assign_prop of string * string * expr
+
+let tt = Const (Value.Bool true)
+let int i = Const (Value.Int i)
+let float f = Const (Value.Float f)
+let str s = Const (Value.Str s)
+let prop d p = Prop (d, p)
+let call name args = Call (name, args)
+let ( &&& ) a b = Binop (And, a, b)
+let ( ||| ) a b = Binop (Or, a, b)
+let ( === ) a b = Binop (Cmp Predicate.Eq, a, b)
+let ( =/= ) a b = Binop (Cmp Predicate.Ne, a, b)
+
+let assigned_descriptor = function
+  | Assign_desc (d, _) -> d
+  | Assign_prop (d, _, _) -> d
+
+let assigned_property = function
+  | Assign_desc _ -> None
+  | Assign_prop (_, p, _) -> Some p
+
+let rec read_descs_acc acc = function
+  | Const _ -> acc
+  | Desc d | Prop (d, _) -> if List.mem d acc then acc else d :: acc
+  | Call (_, args) -> List.fold_left read_descs_acc acc args
+  | Binop (_, a, b) -> read_descs_acc (read_descs_acc acc a) b
+  | Unop (_, a) -> read_descs_acc acc a
+
+let read_descriptors e = List.sort String.compare (read_descs_acc [] e)
+
+let stmt_read_descriptors = function
+  | Assign_desc (_, e) | Assign_prop (_, _, e) -> read_descriptors e
+
+let helpers_used stmts =
+  let rec go acc = function
+    | Const _ | Desc _ | Prop _ -> acc
+    | Call (name, args) ->
+      let acc = if List.mem name acc then acc else name :: acc in
+      List.fold_left go acc args
+    | Binop (_, a, b) -> go (go acc a) b
+    | Unop (_, a) -> go acc a
+  in
+  let acc =
+    List.fold_left
+      (fun acc s ->
+        match s with Assign_desc (_, e) | Assign_prop (_, _, e) -> go acc e)
+      [] stmts
+  in
+  List.sort String.compare acc
+
+let rec substitute_desc_expr f = function
+  | Const _ as e -> e
+  | Desc d -> Desc (f d)
+  | Prop (d, p) -> Prop (f d, p)
+  | Call (name, args) -> Call (name, List.map (substitute_desc_expr f) args)
+  | Binop (op, a, b) ->
+    Binop (op, substitute_desc_expr f a, substitute_desc_expr f b)
+  | Unop (op, a) -> Unop (op, substitute_desc_expr f a)
+
+let substitute_desc f = function
+  | Assign_desc (d, e) -> Assign_desc (f d, substitute_desc_expr f e)
+  | Assign_prop (d, p, e) -> Assign_prop (f d, p, substitute_desc_expr f e)
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | And -> "&&"
+  | Or -> "||"
+  | Cmp c -> Predicate.comparison_to_string c
+
+let rec pp_expr ppf = function
+  | Const v -> Value.pp ppf v
+  | Desc d -> Format.pp_print_string ppf d
+  | Prop (d, p) -> Format.fprintf ppf "%s.%s" d p
+  | Call (name, args) ->
+    Format.fprintf ppf "%s(" name;
+    List.iteri
+      (fun i a ->
+        if i > 0 then Format.fprintf ppf ", ";
+        pp_expr ppf a)
+      args;
+    Format.fprintf ppf ")"
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+  | Unop (Not, a) -> Format.fprintf ppf "!(%a)" pp_expr a
+  | Unop (Neg, a) -> Format.fprintf ppf "-(%a)" pp_expr a
+
+let pp_stmt ppf = function
+  | Assign_desc (d, e) -> Format.fprintf ppf "%s = %a;" d pp_expr e
+  | Assign_prop (d, p, e) -> Format.fprintf ppf "%s.%s = %a;" d p pp_expr e
+
+let pp_stmts ppf stmts =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.fprintf ppf "@,";
+      pp_stmt ppf s)
+    stmts;
+  Format.fprintf ppf "@]"

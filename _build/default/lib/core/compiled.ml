@@ -1,0 +1,79 @@
+module Value = Prairie_value.Value
+module Binding = Pattern.Binding
+
+let rule_error fmt = Printf.ksprintf (fun m -> raise (Eval.Rule_error m)) fmt
+
+let rec expr helpers (e : Action.expr) : Binding.t -> Value.t =
+  match e with
+  | Action.Const v -> fun _ -> v
+  | Action.Desc d ->
+    rule_error
+      "descriptor %s used as a value (whole-descriptor reads are only legal \
+       in whole-descriptor assignments)"
+      d
+  | Action.Prop (d, p) -> fun b -> Descriptor.get (Binding.desc b d) p
+  | Action.Call (name, args) ->
+    (* the helper is resolved once, at compilation time *)
+    let fn =
+      match Helper_env.find helpers name with
+      | Some fn -> fn
+      | None -> raise (Helper_env.Unknown_helper name)
+    in
+    let cargs = List.map (expr helpers) args in
+    fun b -> fn (List.map (fun c -> c b) cargs)
+  | Action.Binop (Action.And, e1, e2) ->
+    let c1 = expr helpers e1 and c2 = expr helpers e2 in
+    fun b -> if Value.truthy (c1 b) then c2 b else Value.Bool false
+  | Action.Binop (Action.Or, e1, e2) ->
+    let c1 = expr helpers e1 and c2 = expr helpers e2 in
+    fun b -> if Value.truthy (c1 b) then Value.Bool true else c2 b
+  | Action.Binop (op, e1, e2) ->
+    let c1 = expr helpers e1 and c2 = expr helpers e2 in
+    let f =
+      match op with
+      | Action.Add -> Value.add
+      | Action.Sub -> Value.sub
+      | Action.Mul -> Value.mul
+      | Action.Div -> Value.div
+      | Action.Cmp c -> fun a b -> Value.Bool (Value.cmp c a b)
+      | Action.And | Action.Or -> assert false
+    in
+    fun b -> f (c1 b) (c2 b)
+  | Action.Unop (Action.Not, e1) ->
+    let c1 = expr helpers e1 in
+    fun b -> Value.Bool (not (Value.truthy (c1 b)))
+  | Action.Unop (Action.Neg, e1) ->
+    let c1 = expr helpers e1 in
+    fun b ->
+      (match c1 b with
+      | Value.Int i -> Value.Int (-i)
+      | v -> Value.Float (-.Value.to_float v))
+
+let test helpers e =
+  let c = expr helpers e in
+  fun b ->
+    match c b with
+    | Value.Bool v -> v
+    | v -> rule_error "rule test evaluated to non-boolean %s" (Value.to_repr v)
+
+let stmt ~protected helpers (s : Action.stmt) : Binding.t -> Binding.t =
+  let target = Action.assigned_descriptor s in
+  if List.mem target protected then
+    rule_error "action assigns to LHS descriptor %s (immutable)" target;
+  match s with
+  | Action.Assign_desc (d, Action.Desc src) ->
+    fun b -> Binding.bind_desc b d (Binding.desc b src)
+  | Action.Assign_desc (d, Action.Const Value.Null) ->
+    fun b -> Binding.bind_desc b d Descriptor.empty
+  | Action.Assign_desc (d, _) ->
+    rule_error
+      "whole-descriptor assignment to %s requires a descriptor on the \
+       right-hand side"
+      d
+  | Action.Assign_prop (d, p, e) ->
+    let c = expr helpers e in
+    fun b -> Binding.bind_desc b d (Descriptor.set (Binding.desc b d) p (c b))
+
+let stmts ~protected helpers ss =
+  let compiled = List.map (stmt ~protected helpers) ss in
+  fun b -> List.fold_left (fun b c -> c b) b compiled

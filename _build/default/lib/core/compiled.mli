@@ -1,0 +1,31 @@
+(** Action compilation: statement lists staged into closures.
+
+    The paper's P2V emits C code for rule actions; the analog here is
+    staging — an {!Action.expr} or statement list is traversed {e once},
+    resolving helper-function lookups and operator dispatch, and yields a
+    closure evaluated on every rule invocation.  Semantics are identical to
+    {!Eval} (property-tested); the cost of interpretation is paid at
+    translation time instead of per firing.
+
+    Compilation also front-loads the static checks: unknown helpers and
+    assignments to protected descriptors are detected when the rule is
+    compiled, not when it first fires. *)
+
+val expr :
+  Helper_env.t ->
+  Action.expr ->
+  (Pattern.Binding.t -> Prairie_value.Value.t)
+(** @raise Helper_env.Unknown_helper at compile time for unregistered
+    helpers.
+    @raise Eval.Rule_error at compile time for whole-descriptor reads
+    outside a copy. *)
+
+val test : Helper_env.t -> Action.expr -> (Pattern.Binding.t -> bool)
+
+val stmts :
+  protected:string list ->
+  Helper_env.t ->
+  Action.stmt list ->
+  (Pattern.Binding.t -> Pattern.Binding.t)
+(** @raise Eval.Rule_error at compile time when a statement assigns to a
+    protected (LHS) descriptor. *)

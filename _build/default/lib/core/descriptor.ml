@@ -1,0 +1,59 @@
+module Value = Prairie_value.Value
+module String_map = Map.Make (String)
+
+type t = Value.t String_map.t
+
+let empty = String_map.empty
+let is_empty = String_map.is_empty
+
+let get d p =
+  match String_map.find_opt p d with Some v -> v | None -> Value.Null
+
+let find d p =
+  match String_map.find_opt p d with
+  | Some Value.Null | None -> None
+  | Some v -> Some v
+
+(* "No constraint" values are normalized to absence so that descriptors
+   reached along different rewriting paths compare equal: an unset
+   [tuple_order] reads back as DONT_CARE and an unset predicate as [True]
+   (see the typed accessors), so the representations are interchangeable. *)
+let set d p v =
+  match v with
+  | Value.Null | Value.Order Prairie_value.Order.Any
+  | Value.Pred Prairie_value.Predicate.True ->
+    String_map.remove p d
+  | _ -> String_map.add p v d
+
+let remove d p = String_map.remove p d
+let mem d p = match find d p with Some _ -> true | None -> false
+let of_list bindings = List.fold_left (fun d (p, v) -> set d p v) empty bindings
+let to_list d = String_map.bindings d
+let merge ~base ~overrides = String_map.union (fun _ _ v -> Some v) base overrides
+
+let restrict d props =
+  String_map.filter (fun p _ -> List.mem p props) d
+
+let without d props =
+  String_map.filter (fun p _ -> not (List.mem p props)) d
+
+let equal = String_map.equal Value.equal
+let compare = String_map.compare Value.compare
+let hash d = Hashtbl.hash (to_list d)
+let get_int d p = Value.to_int (get d p)
+let get_float d p = Value.to_float (get d p)
+let get_order d p = Value.to_order (get d p)
+let get_pred d p = Value.to_pred (get d p)
+let get_attrs d p = Value.to_attrs (get d p)
+
+let cost d = match find d "cost" with Some v -> Value.to_float v | None -> 0.0
+let set_cost d c = set d "cost" (Value.Float c)
+
+let pp ppf d =
+  Format.fprintf ppf "@[<hv 1>{";
+  List.iteri
+    (fun i (p, v) ->
+      if i > 0 then Format.fprintf ppf ";@ ";
+      Format.fprintf ppf "%s = %a" p Value.pp v)
+    (to_list d);
+  Format.fprintf ppf "}@]"

@@ -1,0 +1,67 @@
+(** Descriptors: the uniform per-node annotation lists of Prairie.
+
+    A descriptor is "a list of annotations that describes a node of an
+    operator tree; every node has its own descriptor" (paper §2.1).  Unlike
+    Volcano, a single structure holds what Volcano splits into
+    operator/algorithm arguments, physical properties and cost — the split is
+    recovered mechanically by the P2V pre-processor. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val get : t -> string -> Prairie_value.Value.t
+(** [get d p] is the value of property [p], or [Null] when unset. *)
+
+val find : t -> string -> Prairie_value.Value.t option
+
+val set : t -> string -> Prairie_value.Value.t -> t
+(** Functional update.  Setting a "no constraint" value — [Null], the
+    DONT_CARE order, or the [True] predicate — removes the binding, so
+    descriptors built along different rewriting paths stay structurally
+    equal; the typed accessors read absent bindings back as those values. *)
+
+val remove : t -> string -> t
+
+val mem : t -> string -> bool
+
+val of_list : (string * Prairie_value.Value.t) list -> t
+
+val to_list : t -> (string * Prairie_value.Value.t) list
+(** Bindings sorted by property name. *)
+
+val merge : base:t -> overrides:t -> t
+(** Right-biased union: properties of [overrides] win. *)
+
+val restrict : t -> string list -> t
+(** Keep only the named properties. *)
+
+val without : t -> string list -> t
+(** Drop the named properties. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+(** {1 Typed accessors}
+
+    Convenience readers used throughout rule tests, cost functions and the
+    execution engine.  They raise [Prairie_value.Value.Type_error] on
+    mismatches. *)
+
+val get_int : t -> string -> int
+val get_float : t -> string -> float
+val get_order : t -> string -> Prairie_value.Order.t
+val get_pred : t -> string -> Prairie_value.Predicate.t
+val get_attrs : t -> string -> Prairie_value.Attribute.t list
+
+val cost : t -> float
+(** The ["cost"] property, 0 when unset. *)
+
+val set_cost : t -> float -> t
+
+val pp : Format.formatter -> t -> unit

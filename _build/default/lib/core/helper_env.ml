@@ -1,0 +1,74 @@
+module Value = Prairie_value.Value
+module Order = Prairie_value.Order
+module String_map = Map.Make (String)
+
+type fn = Value.t list -> Value.t
+
+exception Unknown_helper of string
+exception Helper_error of string * string
+
+type t = fn String_map.t
+
+let empty = String_map.empty
+let add name fn t = String_map.add name fn t
+let add_all fns t = List.fold_left (fun t (name, fn) -> add name fn t) t fns
+let find t name = String_map.find_opt name t
+let mem t name = String_map.mem name t
+let names t = List.map fst (String_map.bindings t)
+
+let merge a b = String_map.union (fun _ _ fb -> Some fb) a b
+
+let call t name args =
+  match find t name with
+  | Some fn -> fn args
+  | None -> raise (Unknown_helper name)
+
+let error name msg = raise (Helper_error (name, msg))
+
+let arity1 name f = function
+  | [ v ] -> f v
+  | args -> error name (Printf.sprintf "expected 1 argument, got %d" (List.length args))
+
+let arity2 name f = function
+  | [ a; b ] -> f a b
+  | args -> error name (Printf.sprintf "expected 2 arguments, got %d" (List.length args))
+
+let float1 name f =
+  arity1 name (fun v -> Value.Float (f (Value.to_float v)))
+
+let builtins =
+  empty
+  |> add_all
+       [
+         ( "log",
+           float1 "log" (fun x -> if x <= 1.0 then 0.0 else Float.log x) );
+         ( "log2",
+           float1 "log2" (fun x ->
+               if x <= 1.0 then 0.0 else Float.log x /. Float.log 2.0) );
+         ("ceil", float1 "ceil" Float.ceil);
+         ("floor", float1 "floor" Float.floor);
+         ( "abs",
+           arity1 "abs" (fun v ->
+               match v with
+               | Value.Int i -> Value.Int (abs i)
+               | v -> Value.Float (Float.abs (Value.to_float v))) );
+         ( "min",
+           arity2 "min" (fun a b ->
+               if Value.to_float a <= Value.to_float b then a else b) );
+         ( "max",
+           arity2 "max" (fun a b ->
+               if Value.to_float a >= Value.to_float b then a else b) );
+         ( "coalesce",
+           arity2 "coalesce" (fun a b ->
+               match a with Value.Null -> b | _ -> a) );
+         ( "is_null",
+           arity1 "is_null" (fun v -> Value.Bool (v = Value.Null)) );
+         ( "order_satisfies",
+           arity2 "order_satisfies" (fun req act ->
+               Value.Bool
+                 (Order.satisfies ~required:(Value.to_order req)
+                    ~actual:(Value.to_order act))) );
+         ( "is_dont_care",
+           arity1 "is_dont_care" (fun v ->
+               Value.Bool (Order.is_any (Value.to_order v))) );
+       ]

@@ -1,0 +1,43 @@
+(** Helper-function environments.
+
+    Rule actions may call helper functions on the right-hand side of
+    assignments and in tests (paper §2.3): [is_associative], [cardinality],
+    [union], ...  Helpers are registered by name; algebra definitions
+    typically close them over a catalog so that statistics are available. *)
+
+type fn = Prairie_value.Value.t list -> Prairie_value.Value.t
+
+exception Unknown_helper of string
+exception Helper_error of string * string
+(** [Helper_error (name, message)]: a helper was called with bad arguments. *)
+
+type t
+
+val empty : t
+
+val add : string -> fn -> t -> t
+
+val add_all : (string * fn) list -> t -> t
+
+val find : t -> string -> fn option
+
+val mem : t -> string -> bool
+
+val names : t -> string list
+
+val call : t -> string -> Prairie_value.Value.t list -> Prairie_value.Value.t
+(** @raise Unknown_helper on unregistered names. *)
+
+val merge : t -> t -> t
+(** Right-biased union of two helper environments (used when combining
+    rule sets). *)
+
+val builtins : t
+(** Arithmetic helpers every rule set gets for free: [log] (natural log,
+    of-0 clamps to 0), [log2], [ceil], [floor], [min], [max], [abs],
+    [order_satisfies] (required, actual), [is_dont_care], [coalesce]
+    (first non-null argument) and [is_null]. *)
+
+val error : string -> string -> 'a
+(** [error name msg] raises {!Helper_error} — for use inside helper
+    implementations. *)

@@ -1,0 +1,174 @@
+type t = {
+  name : string;
+  properties : Property.schema;
+  operators : string list;
+  algorithms : string list;
+  trules : Trule.t list;
+  irules : Irule.t list;
+  helpers : Helper_env.t;
+}
+
+let pattern_ops pat =
+  let rec go acc = function
+    | Pattern.Pvar _ -> acc
+    | Pattern.Pop (name, _, subs) ->
+      let acc = if List.mem name acc then acc else name :: acc in
+      List.fold_left go acc subs
+  in
+  go [] pat
+
+let tmpl_ops tmpl =
+  let rec go acc = function
+    | Pattern.Tvar _ -> acc
+    | Pattern.Tnode (name, _, subs) ->
+      let acc = if List.mem name acc then acc else name :: acc in
+      List.fold_left go acc subs
+  in
+  go [] tmpl
+
+let dedup_sorted xs = List.sort_uniq String.compare xs
+
+let make ?(properties = []) ?(operators = []) ?(algorithms = []) ?(trules = [])
+    ?(irules = []) ?(helpers = Helper_env.builtins) name =
+  let inferred_ops =
+    List.concat_map (fun (r : Trule.t) -> pattern_ops r.lhs @ tmpl_ops r.rhs) trules
+    @ List.map Irule.operator irules
+  in
+  let inferred_algs = List.map Irule.algorithm irules in
+  {
+    name;
+    properties;
+    operators = dedup_sorted (operators @ inferred_ops);
+    algorithms = dedup_sorted (algorithms @ inferred_algs);
+    trules;
+    irules;
+    helpers;
+  }
+
+let irules_for t op =
+  List.filter (fun r -> String.equal (Irule.operator r) op) t.irules
+
+let trule_count t = List.length t.trules
+let irule_count t = List.length t.irules
+
+let find_trule t name =
+  List.find_opt (fun (r : Trule.t) -> String.equal r.name name) t.trules
+
+let find_irule t name =
+  List.find_opt (fun (r : Irule.t) -> String.equal r.name name) t.irules
+
+let combine ~name a b =
+  let properties =
+    a.properties
+    @ List.filter
+        (fun (p : Property.t) ->
+          match Property.find a.properties p.Property.name with
+          | None -> true
+          | Some existing ->
+            if existing.Property.ty <> p.Property.ty then
+              invalid_arg
+                (Printf.sprintf
+                   "Ruleset.combine: property %s declared with different types"
+                   p.Property.name);
+            false)
+        b.properties
+  in
+  let dedup_rules get_name eq xs ys =
+    xs
+    @ List.filter
+        (fun y ->
+          match List.find_opt (fun x -> String.equal (get_name x) (get_name y)) xs with
+          | None -> true
+          | Some x ->
+            if not (eq x y) then
+              invalid_arg
+                (Printf.sprintf
+                   "Ruleset.combine: rule %s exists in both sets with \
+                    different definitions"
+                   (get_name y));
+            false)
+        ys
+  in
+  let trules =
+    dedup_rules
+      (fun (r : Trule.t) -> r.Trule.name)
+      (fun x y -> x = y)
+      a.trules b.trules
+  in
+  let irules =
+    dedup_rules
+      (fun (r : Irule.t) -> r.Irule.name)
+      (fun x y -> x = y)
+      a.irules b.irules
+  in
+  make ~properties
+    ~operators:(dedup_sorted (a.operators @ b.operators))
+    ~algorithms:(dedup_sorted (a.algorithms @ b.algorithms))
+    ~trules ~irules
+    ~helpers:(Helper_env.merge a.helpers b.helpers)
+    name
+
+let validate t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let check_result = function Ok () -> () | Error m -> errs := m :: !errs in
+  List.iter (fun r -> check_result (Trule.validate r)) t.trules;
+  List.iter (fun r -> check_result (Irule.validate r)) t.irules;
+  let check_ops rule_name ops =
+    List.iter
+      (fun op ->
+        if not (List.mem op t.operators || List.mem op t.algorithms) then
+          err "rule %s: undeclared operation %s" rule_name op)
+      ops
+  in
+  List.iter
+    (fun (r : Trule.t) ->
+      check_ops r.name (pattern_ops r.lhs @ tmpl_ops r.rhs))
+    t.trules;
+  List.iter
+    (fun (r : Irule.t) -> check_ops r.name (pattern_ops r.lhs @ tmpl_ops r.rhs))
+    t.irules;
+  let check_helpers rule_name stmts test =
+    let used = Action.helpers_used stmts @ Action.helpers_used [ Action.Assign_desc ("_", test) ] in
+    List.iter
+      (fun h ->
+        if not (Helper_env.mem t.helpers h) then
+          err "rule %s: helper function %s is not registered" rule_name h)
+      used
+  in
+  List.iter
+    (fun (r : Trule.t) -> check_helpers r.name (r.pre_test @ r.post_test) r.test)
+    t.trules;
+  List.iter
+    (fun (r : Irule.t) -> check_helpers r.name (r.pre_opt @ r.post_opt) r.test)
+    t.irules;
+  (* every operator that appears in some rule LHS/RHS should be implementable *)
+  let implemented = List.map Irule.operator t.irules in
+  List.iter
+    (fun op ->
+      if (not (List.mem op implemented)) && not (List.mem op t.algorithms) then
+        err "operator %s has no I-rule (it can never be implemented)" op)
+    t.operators;
+  match List.rev !errs with [] -> Ok () | es -> Error es
+
+let spec_size t =
+  let stmt_count =
+    List.fold_left
+      (fun n (r : Trule.t) ->
+        n + List.length r.pre_test + List.length r.post_test + 1)
+      0 t.trules
+    + List.fold_left
+        (fun n (r : Irule.t) ->
+          n + List.length r.pre_opt + List.length r.post_opt + 1)
+        0 t.irules
+  in
+  trule_count t + irule_count t + stmt_count + List.length t.properties
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>ruleset %s (%d T-rules, %d I-rules)" t.name
+    (trule_count t) (irule_count t);
+  Format.fprintf ppf "@,operators: %s" (String.concat ", " t.operators);
+  Format.fprintf ppf "@,algorithms: %s" (String.concat ", " t.algorithms);
+  List.iter (fun r -> Format.fprintf ppf "@,%a" Trule.pp r) t.trules;
+  List.iter (fun r -> Format.fprintf ppf "@,%a" Irule.pp r) t.irules;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,62 @@
+(** Prairie rule sets.
+
+    A rule set packages everything a user writes to define an optimizer in
+    Prairie: the declared operators and algorithms (all first-class — paper
+    §1 goal 1), the declared property list (goal 2), the T-rules and
+    I-rules with their property mappings (goal 3), and the helper-function
+    environment the actions call into. *)
+
+type t = {
+  name : string;
+  properties : Property.schema;
+  operators : string list;  (** declared abstract operators *)
+  algorithms : string list;  (** declared algorithms, including [Null] *)
+  trules : Trule.t list;
+  irules : Irule.t list;
+  helpers : Helper_env.t;
+}
+
+val make :
+  ?properties:Property.schema ->
+  ?operators:string list ->
+  ?algorithms:string list ->
+  ?trules:Trule.t list ->
+  ?irules:Irule.t list ->
+  ?helpers:Helper_env.t ->
+  string ->
+  t
+(** [make name] builds a rule set; [helpers] defaults to
+    {!Helper_env.builtins}.  Operators and algorithms not listed explicitly
+    are inferred from the rules. *)
+
+val irules_for : t -> string -> Irule.t list
+(** I-rules implementing the given operator. *)
+
+val trule_count : t -> int
+val irule_count : t -> int
+
+val find_trule : t -> string -> Trule.t option
+val find_irule : t -> string -> Irule.t option
+
+val combine : name:string -> t -> t -> t
+(** Combine two rule sets into one optimizer — the paper's §6 future work
+    ("combining multiple Prairie rule sets to automatically generate
+    efficient optimizers").  Operators, algorithms and properties are
+    unioned; rules of both sets apply, so operators shared by name (e.g. a
+    JOIN known to both) gain each other's transformations and
+    implementations.  Same-name properties must agree on their type and
+    same-name rules must be structurally identical (they are deduplicated);
+    anything else raises [Invalid_argument]. *)
+
+val validate : t -> (unit, string list) result
+(** Validates every rule (see {!Trule.validate}, {!Irule.validate}), checks
+    that rules mention only declared operators/algorithms, that every helper
+    called by an action is registered, and that every operator has at least
+    one I-rule (otherwise no plan could ever be produced for it). *)
+
+val spec_size : t -> int
+(** A crude "lines of specification" metric: number of rules plus number of
+    action statements plus number of declared properties.  Used by the
+    §4.2-style programmer-productivity report. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/distributed/distributed.ml: List Prairie Prairie_algebra Prairie_genrules Prairie_value

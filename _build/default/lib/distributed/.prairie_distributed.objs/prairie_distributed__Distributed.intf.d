@@ -1,0 +1,1 @@
+lib/distributed/distributed.mli: Prairie Prairie_catalog Prairie_value

@@ -1,0 +1,200 @@
+module N = Prairie_algebra.Names
+module B = Prairie_algebra.Build
+module G = Prairie_genrules.Genrules
+module Helpers = Prairie_algebra.Helpers
+module Cost_model = Prairie_algebra.Cost_model
+module Init = Prairie_algebra.Init
+module Props = Prairie_algebra.Props
+module Value = Prairie_value.Value
+module Expr = Prairie.Expr
+module Descriptor = Prairie.Descriptor
+module Helper_env = Prairie.Helper_env
+open B
+
+let default_site = "site0"
+
+let site_of ~sites name =
+  match List.assoc_opt name sites with
+  | Some s -> s
+  | None -> default_site
+
+(* ------------------------------------------------------------------ *)
+(* I-rules                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let site_ok required actual =
+  c "is_null" [ required ] ||! (required ===! actual)
+
+(* File_scan runs where the file lives; it can only satisfy a site
+   requirement that matches the home site. *)
+let ret_file_scan =
+  irule ~name:"dist_ret_file_scan"
+    ~lhs:(p N.ret "D2" [ v 1 ])
+    ~rhs:(t N.file_scan "D3" [ tv 1 ])
+    ~test:(site_ok ("D2" $. N.p_site) ("D1" $. N.p_site))
+    ~pre_opt:[ copy "D3" "D2"; set "D3" N.p_site ("D1" $. N.p_site) ]
+    ~post_opt:
+      [
+        set "D3" N.p_cost
+          (c "cost_file_scan"
+             [ "D1" $. N.p_num_records; "D1" $. N.p_tuple_size ]);
+      ]
+    ()
+
+(* Hash joins need co-located inputs.  Three rules for one algorithm pick
+   the execution site — the required site, or either input's home site when
+   it is statically known (R*'s candidate sites); both inputs are then
+   required at that site and the engine establishes it, shipping streams
+   when necessary. *)
+let join_at ~rule_name ~site_source ~guard =
+  irule ~name:rule_name
+    ~lhs:(p N.join "D3" [ v 1; v 2 ])
+    ~rhs:(t N.hash_join "D6" [ tvd 1 "D4"; tvd 2 "D5" ])
+    ~test:(c "is_equijoin" [ "D3" $. N.p_join_predicate ] &&! guard)
+    ~pre_opt:
+      [
+        copy "D6" "D3";
+        set "D6" N.p_site site_source;
+        copy "D4" "D1";
+        set "D4" N.p_site site_source;
+        copy "D5" "D2";
+        set "D5" N.p_site site_source;
+      ]
+    ~post_opt:
+      [
+        set "D6" N.p_cost
+          (c "cost_hash_join"
+             [
+               "D4" $. N.p_cost;
+               "D5" $. N.p_cost;
+               "D4" $. N.p_num_records;
+               "D5" $. N.p_num_records;
+             ]);
+      ]
+    ()
+
+let join_at_required =
+  join_at ~rule_name:"dist_join_at_required"
+    ~site_source:("D3" $. N.p_site)
+    ~guard:(not_ (c "is_null" [ "D3" $. N.p_site ]))
+
+(* Executing at an input's home site only applies when it does not
+   contradict a required result site: rule tests carry the full
+   applicability condition (paper Sec. 2.4) -- the naive optimizer has no
+   other validity check. *)
+let join_at_input ~rule_name input =
+  join_at ~rule_name
+    ~site_source:(input $. N.p_site)
+    ~guard:
+      (not_ (c "is_null" [ input $. N.p_site ])
+      &&! site_ok ("D3" $. N.p_site) (input $. N.p_site))
+
+let join_at_left = join_at_input ~rule_name:"dist_join_at_left" "D1"
+let join_at_right = join_at_input ~rule_name:"dist_join_at_right" "D2"
+
+(* The SHIP enforcer pair: Ship moves the stream to the required site;
+   Null passes the requirement down (making SHIP an enforcer-operator and
+   [site] a physical property). *)
+let ship_ship =
+  irule ~name:"dist_ship"
+    ~lhs:(p N.ship "D2" [ v 1 ])
+    ~rhs:(t N.ship_alg "D3" [ tv 1 ])
+    ~test:(not_ (c "is_null" [ "D2" $. N.p_site ]))
+    ~pre_opt:[ copy "D3" "D2" ]
+    ~post_opt:
+      [
+        set "D3" N.p_cost
+          (c "cost_ship"
+             [
+               "D1" $. N.p_cost;
+               "D3" $. N.p_num_records;
+               "D3" $. N.p_tuple_size;
+             ]);
+      ]
+    ()
+
+let ship_null =
+  irule ~name:"dist_ship_null"
+    ~lhs:(p N.ship "D2" [ v 1 ])
+    ~rhs:(t N.null_alg "D4" [ tvd 1 "D3" ])
+    ~pre_opt:
+      [
+        copy "D4" "D2";
+        copy "D3" "D1";
+        set "D3" N.p_site ("D2" $. N.p_site);
+      ]
+    ~post_opt:[ set "D4" N.p_cost ("D3" $. N.p_cost) ]
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* T-rules come from the generator (§6)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let genrules_spec : G.spec =
+  {
+    G.binaries =
+      [
+        {
+          G.bin_name = N.join;
+          bin_pred = N.p_join_predicate;
+          bin_commutative = true;
+          bin_associative = true;
+        };
+      ];
+    filters = [];
+    enforcers =
+      [
+        {
+          G.enf_operator = N.ship;
+          enf_property = N.p_site;
+          enf_over = [ (N.ret, 1); (N.join, 2) ];
+        };
+      ];
+  }
+
+let ruleset catalog ~sites =
+  let helpers =
+    Helpers.env catalog
+    |> Helper_env.add "cost_ship" (fun args ->
+           match args with
+           | [ c'; n; s ] ->
+             Value.Float
+               (Cost_model.ship ~input_cost:(Value.to_float c')
+                  ~card:(Value.to_int n) ~tuple_size:(Value.to_int s))
+           | _ -> Helper_env.error "cost_ship" "expected 3 arguments")
+    |> Helper_env.add "file_site" (fun args ->
+           match args with
+           | [ Value.Str name ] -> Value.Str (site_of ~sites name)
+           | _ -> Helper_env.error "file_site" "expected a file name")
+  in
+  Prairie.Ruleset.make ~properties:Props.schema
+    ~trules:(G.trules genrules_spec)
+    ~irules:
+      [
+        ret_file_scan;
+        join_at_required;
+        join_at_left;
+        join_at_right;
+        ship_ship;
+        ship_null;
+      ]
+    ~helpers "distributed"
+
+(* ------------------------------------------------------------------ *)
+(* query construction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ret ?pred ~sites catalog name =
+  let site = Value.Str (site_of ~sites name) in
+  match Init.ret ?pred catalog name with
+  | Expr.Node (kind, op, d, [ Expr.Stored (file, fd) ]) ->
+    Expr.Node
+      ( kind,
+        op,
+        Descriptor.set d N.p_site site,
+        [ Expr.Stored (file, Descriptor.set fd N.p_site site) ] )
+  | other -> other
+
+let join = Init.join
+
+let require_site site = Descriptor.of_list [ (N.p_site, Value.Str site) ]

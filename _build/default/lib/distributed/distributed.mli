@@ -1,0 +1,45 @@
+(** A distributed (R*-style) relational optimizer.
+
+    The paper's related work reviews R* (its refs [4, 14, 16]), the
+    distributed descendant of System R; this rule set shows that Prairie's
+    uniform property treatment covers it with no new machinery: the {e site}
+    a stream lives at is just another descriptor property, and exactly like
+    [tuple_order] it is classified as {b physical} automatically — because
+    the SHIP enforcer-operator's Null rule propagates it to a
+    re-descriptored input.
+
+    Operators: RET, JOIN and the enforcer-operator SHIP.  Algorithms:
+    File_scan (runs at the stored file's home site), two Hash_join variants
+    (executing at the left or the right input's site — both inputs must be
+    co-located, which the engine establishes by shipping), Ship (the
+    enforcer: network transfer of the stream's pages) and Null.  T-rules
+    are produced by the {!Prairie_genrules} generator: join commutativity
+    and associativity plus SHIP-introduction rules. *)
+
+val ruleset :
+  Prairie_catalog.Catalog.t -> sites:(string * string) list -> Prairie.Ruleset.t
+(** [sites] maps each stored file to its home site.  Files without an entry
+    live at ["site0"]. *)
+
+val site_of : sites:(string * string) list -> string -> string
+
+val ret :
+  ?pred:Prairie_value.Predicate.t ->
+  sites:(string * string) list ->
+  Prairie_catalog.Catalog.t ->
+  string ->
+  Prairie.Expr.t
+(** A retrieval annotated with the file's home site. *)
+
+val join :
+  Prairie_catalog.Catalog.t ->
+  pred:Prairie_value.Predicate.t ->
+  Prairie.Expr.t ->
+  Prairie.Expr.t ->
+  Prairie.Expr.t
+(** Plain {!Init.join}: join execution sites are an optimization decision,
+    not a query annotation. *)
+
+val require_site : string -> Prairie.Descriptor.t
+(** A required-property descriptor demanding the result at the given site
+    (e.g. the site of the client). *)

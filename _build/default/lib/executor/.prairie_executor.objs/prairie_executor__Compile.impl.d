@@ -1,0 +1,1 @@
+lib/executor/compile.ml: Array Iterator List Prairie Prairie_value Prairie_volcano Table Tuple

@@ -1,0 +1,1 @@
+lib/executor/compile.mli: Iterator Prairie Prairie_volcano Table Tuple

@@ -1,0 +1,1 @@
+lib/executor/data_gen.ml: Array Hashtbl List Prairie_catalog Prairie_util Prairie_value String Table

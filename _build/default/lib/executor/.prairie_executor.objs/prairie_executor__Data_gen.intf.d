@@ -1,0 +1,1 @@
+lib/executor/data_gen.mli: Prairie_catalog Table

@@ -1,0 +1,1 @@
+lib/executor/iterator.ml: Array Hashtbl List Prairie_catalog Prairie_value Printf Table Tuple

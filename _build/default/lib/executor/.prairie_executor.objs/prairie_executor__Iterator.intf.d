@@ -1,0 +1,1 @@
+lib/executor/iterator.mli: Prairie_value Table Tuple

@@ -1,0 +1,1 @@
+lib/executor/table.ml: Array List Prairie_catalog Tuple

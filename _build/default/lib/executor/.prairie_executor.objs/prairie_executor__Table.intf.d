@@ -1,0 +1,1 @@
+lib/executor/table.mli: Prairie_catalog Tuple

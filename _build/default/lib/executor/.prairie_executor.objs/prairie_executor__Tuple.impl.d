@@ -1,0 +1,1 @@
+lib/executor/tuple.ml: Array Format List Prairie_value

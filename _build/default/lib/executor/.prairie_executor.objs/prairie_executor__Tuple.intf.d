@@ -1,0 +1,1 @@
+lib/executor/tuple.mli: Format Prairie_value

@@ -1,0 +1,35 @@
+module Value = Prairie_value.Value
+module Catalog = Prairie_catalog.Catalog
+module Stored_file = Prairie_catalog.Stored_file
+module Rng = Prairie_util.Rng
+
+let column_value rng catalog (col : Stored_file.column) ~row =
+  match col.Stored_file.ref_to with
+  | Some target ->
+    let target_card =
+      match Catalog.find catalog target with
+      | Some f -> max 1 f.Stored_file.cardinality
+      | None -> 1
+    in
+    Value.Int (Rng.int rng target_card)
+  | None ->
+    if String.equal (Prairie_value.Attribute.name col.Stored_file.attr) "oid"
+    then Value.Int row
+    else if col.Stored_file.set_valued then
+      Value.List
+        (List.init (max 1 col.Stored_file.distinct) (fun _ ->
+             Value.Int (Rng.int rng 1000)))
+    else Value.Int (Rng.int rng (max 1 col.Stored_file.distinct))
+
+let table ~seed catalog (file : Stored_file.t) =
+  let rng = Rng.create (seed lxor Hashtbl.hash file.Stored_file.name) in
+  let schema = Array.of_list (Stored_file.attributes file) in
+  let cols = Array.of_list file.Stored_file.columns in
+  let rows =
+    Array.init file.Stored_file.cardinality (fun row ->
+        Array.map (fun col -> column_value rng catalog col ~row) cols)
+  in
+  { Table.file; schema; rows }
+
+let database ~seed catalog =
+  Table.database catalog (List.map (table ~seed catalog) (Catalog.files catalog))

@@ -1,0 +1,14 @@
+(** Synthetic table data derived from a catalog.
+
+    Generation is deterministic per seed.  Column semantics:
+    - a column named [oid] holds the row index (the object identity
+      Pointer_join and MAT dereference);
+    - a reference column ([ref_to = Some target]) holds a uniformly random
+      valid row index of the target table;
+    - a set-valued column holds a list of [distinct] integers (its fanout);
+    - any other column holds a uniform integer in [\[0, distinct)]. *)
+
+val table : seed:int -> Prairie_catalog.Catalog.t -> Prairie_catalog.Stored_file.t -> Table.t
+
+val database : seed:int -> Prairie_catalog.Catalog.t -> Table.database
+(** Tables for every stored file in the catalog. *)

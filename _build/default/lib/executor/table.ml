@@ -1,0 +1,19 @@
+type t = {
+  file : Prairie_catalog.Stored_file.t;
+  schema : Tuple.schema;
+  rows : Tuple.t array;
+}
+
+type database = {
+  catalog : Prairie_catalog.Catalog.t;
+  tables : (string * t) list;
+}
+
+let find db name = List.assoc name db.tables
+let row_count t = Array.length t.rows
+
+let database catalog tables =
+  {
+    catalog;
+    tables = List.map (fun t -> (t.file.Prairie_catalog.Stored_file.name, t)) tables;
+  }

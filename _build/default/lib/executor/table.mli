@@ -1,0 +1,19 @@
+(** In-memory tables and databases. *)
+
+type t = {
+  file : Prairie_catalog.Stored_file.t;
+  schema : Tuple.schema;
+  rows : Tuple.t array;
+}
+
+type database = {
+  catalog : Prairie_catalog.Catalog.t;
+  tables : (string * t) list;
+}
+
+val find : database -> string -> t
+(** @raise Not_found for unknown tables. *)
+
+val row_count : t -> int
+
+val database : Prairie_catalog.Catalog.t -> t list -> database

@@ -1,0 +1,77 @@
+module Value = Prairie_value.Value
+module Attribute = Prairie_value.Attribute
+module Predicate = Prairie_value.Predicate
+
+type schema = Attribute.t array
+type t = Value.t array
+
+let position schema attr =
+  let n = Array.length schema in
+  let rec go i =
+    if i >= n then None
+    else if Attribute.equal schema.(i) attr then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let get schema tuple attr =
+  match position schema attr with
+  | Some i -> Some tuple.(i)
+  | None -> None
+
+let lookup_term schema tuple attr =
+  match get schema tuple attr with
+  | Some (Value.Int i) -> Some (Predicate.T_int i)
+  | Some (Value.Float f) -> Some (Predicate.T_float f)
+  | Some (Value.Str s) -> Some (Predicate.T_string s)
+  | Some _ | None -> None
+
+let eval_pred schema pred tuple =
+  Predicate.eval ~lookup:(lookup_term schema tuple) pred
+
+let concat = Array.append
+let concat_schema = Array.append
+
+let project_schema schema attrs =
+  Array.of_list
+    (List.filter (fun a -> position schema a <> None) attrs)
+
+let project schema attrs tuple =
+  let kept = project_schema schema attrs in
+  Array.map
+    (fun a ->
+      match position schema a with
+      | Some i -> tuple.(i)
+      | None -> Value.Null)
+    kept
+
+let compare_by schema attrs t1 t2 =
+  let rec go = function
+    | [] -> 0
+    | a :: rest -> (
+      match position schema a with
+      | None -> go rest
+      | Some i -> (
+        match Value.compare t1.(i) t2.(i) with 0 -> go rest | c -> c))
+  in
+  go attrs
+
+let canonical schema tuple =
+  let pairs =
+    Array.to_list
+      (Array.mapi
+         (fun i a -> (Attribute.to_string a, Value.to_repr tuple.(i)))
+         schema)
+  in
+  List.sort compare pairs
+
+let pp schema ppf tuple =
+  Format.fprintf ppf "@[<h>(";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%s=%s"
+        (Attribute.to_string schema.(i))
+        (Value.to_repr v))
+    tuple;
+  Format.fprintf ppf ")@]"

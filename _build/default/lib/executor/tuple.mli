@@ -1,0 +1,39 @@
+(** Tuples and stream schemas for the execution engine. *)
+
+type schema = Prairie_value.Attribute.t array
+(** Column layout of a stream, in positional order. *)
+
+type t = Prairie_value.Value.t array
+(** One tuple; values are positionally aligned with the schema. *)
+
+val position : schema -> Prairie_value.Attribute.t -> int option
+
+val get : schema -> t -> Prairie_value.Attribute.t -> Prairie_value.Value.t option
+
+val lookup_term :
+  schema -> t -> Prairie_value.Attribute.t -> Prairie_value.Predicate.term option
+(** Attribute lookup in the form predicate evaluation expects ([Int],
+    [Float] and [String] values become constant terms; anything else is
+    unresolvable). *)
+
+val eval_pred : schema -> Prairie_value.Predicate.t -> t -> bool
+
+val concat : t -> t -> t
+
+val concat_schema : schema -> schema -> schema
+
+val project : schema -> Prairie_value.Attribute.t list -> t -> t
+(** Keep the named attributes (in their order of appearance in the list). *)
+
+val project_schema : schema -> Prairie_value.Attribute.t list -> schema
+
+val compare_by :
+  schema -> Prairie_value.Attribute.t list -> t -> t -> int
+(** Lexicographic comparison on the given sort attributes. *)
+
+val canonical : schema -> t -> (string * string) list
+(** Order-independent rendering — a sorted (attribute, value) list — used
+    to compare result multisets across plans with different column
+    layouts. *)
+
+val pp : schema -> Format.formatter -> t -> unit

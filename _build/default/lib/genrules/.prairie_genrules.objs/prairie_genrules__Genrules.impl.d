@@ -1,0 +1,1 @@
+lib/genrules/genrules.ml: List Prairie Prairie_algebra Prairie_value Printf

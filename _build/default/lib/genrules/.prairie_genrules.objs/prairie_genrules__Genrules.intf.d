@@ -1,0 +1,1 @@
+lib/genrules/genrules.mli: Prairie

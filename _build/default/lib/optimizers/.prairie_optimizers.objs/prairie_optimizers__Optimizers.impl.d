@@ -1,0 +1,1 @@
+lib/optimizers/optimizers.ml: Prairie Prairie_algebra Prairie_p2v Prairie_volcano

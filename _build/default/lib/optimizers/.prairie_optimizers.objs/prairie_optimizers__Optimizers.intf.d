@@ -1,0 +1,1 @@
+lib/optimizers/optimizers.mli: Prairie Prairie_catalog Prairie_volcano

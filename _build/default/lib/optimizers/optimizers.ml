@@ -1,0 +1,56 @@
+module Descriptor = Prairie.Descriptor
+module Search = Prairie_volcano.Search
+module Plan = Prairie_volcano.Plan
+
+type t = {
+  name : string;
+  volcano : Prairie_volcano.Rule.ruleset;
+  prepare : Prairie.Expr.t -> Prairie.Expr.t * Descriptor.t;
+}
+
+type outcome = {
+  plan : Plan.t option;
+  cost : float;
+  search : Search.t;
+}
+
+let of_translation name tr =
+  {
+    name;
+    volcano = tr.Prairie_p2v.Translate.volcano;
+    prepare = Prairie_p2v.Translate.prepare_query tr;
+  }
+
+let relational_ruleset = Prairie_algebra.Relational.ruleset
+let oodb_ruleset = Prairie_algebra.Oodb.ruleset
+
+let oodb_prairie catalog =
+  of_translation "oodb-prairie"
+    (Prairie_p2v.Translate.translate (oodb_ruleset catalog))
+
+let oodb_prairie_unmerged catalog =
+  of_translation "oodb-prairie-unmerged"
+    (Prairie_p2v.Translate.translate ~compose:false (oodb_ruleset catalog))
+
+let oodb_prairie_interpreted catalog =
+  of_translation "oodb-prairie-interpreted"
+    (Prairie_p2v.Translate.translate ~mode:`Interpreted (oodb_ruleset catalog))
+
+let oodb_volcano catalog =
+  {
+    name = "oodb-volcano";
+    volcano = Prairie_algebra.Oodb_volcano.ruleset catalog;
+    prepare = Prairie_algebra.Oodb_volcano.prepare_query;
+  }
+
+let relational catalog =
+  of_translation "relational"
+    (Prairie_p2v.Translate.translate (relational_ruleset catalog))
+
+let optimize ?pruning ?group_budget ?(required = Descriptor.empty) t expr =
+  let expr, req0 = t.prepare expr in
+  let required = Descriptor.merge ~base:req0 ~overrides:required in
+  let search = Search.create ?pruning ?group_budget t.volcano in
+  let plan = Search.optimize ~required search expr in
+  let cost = match plan with Some p -> Plan.cost p | None -> infinity in
+  { plan; cost; search }

@@ -1,0 +1,51 @@
+(** Ready-to-use optimizers.
+
+    Packages a Volcano rule set with its query-preparation step (stripping
+    root enforcer-operators into required physical properties) under a
+    common interface, so benchmarks, examples and tests can drive the two
+    §4 contestants — the P2V-generated Prairie optimizer and the hand-coded
+    Volcano optimizer — interchangeably. *)
+
+type t = {
+  name : string;
+  volcano : Prairie_volcano.Rule.ruleset;
+  prepare : Prairie.Expr.t -> Prairie.Expr.t * Prairie.Descriptor.t;
+}
+
+type outcome = {
+  plan : Prairie_volcano.Plan.t option;
+  cost : float;  (** infinity when no plan exists *)
+  search : Prairie_volcano.Search.t;  (** memo and statistics *)
+}
+
+val oodb_prairie : Prairie_catalog.Catalog.t -> t
+(** The Open OODB rule set written in Prairie and run through P2V
+    ("Prairie" in the paper's Figures 10–13). *)
+
+val oodb_volcano : Prairie_catalog.Catalog.t -> t
+(** The hand-coded Volcano rule set ("Volcano" in the same figures). *)
+
+val oodb_prairie_unmerged : Prairie_catalog.Catalog.t -> t
+(** P2V translation with rule composition disabled — the [ablation-merge]
+    configuration. *)
+
+val oodb_prairie_interpreted : Prairie_catalog.Catalog.t -> t
+(** P2V translation with rule actions interpreted per invocation instead of
+    staged into closures — the [ablation-codegen] configuration. *)
+
+val relational : Prairie_catalog.Catalog.t -> t
+(** The §2 relational optimizer, via P2V. *)
+
+val relational_ruleset : Prairie_catalog.Catalog.t -> Prairie.Ruleset.t
+val oodb_ruleset : Prairie_catalog.Catalog.t -> Prairie.Ruleset.t
+
+val optimize :
+  ?pruning:bool ->
+  ?group_budget:int ->
+  ?required:Prairie.Descriptor.t ->
+  t ->
+  Prairie.Expr.t ->
+  outcome
+(** Prepare the query, run the search from a fresh memo and return the
+    best plan with the search context (for group counts and rule-match
+    statistics). *)

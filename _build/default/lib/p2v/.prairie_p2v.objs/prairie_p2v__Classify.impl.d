@@ -1,0 +1,1 @@
+lib/p2v/classify.ml: Format List Prairie String

@@ -1,0 +1,1 @@
+lib/p2v/classify.mli: Format Prairie

@@ -1,0 +1,1 @@
+lib/p2v/enforcers.ml: Format List Prairie String

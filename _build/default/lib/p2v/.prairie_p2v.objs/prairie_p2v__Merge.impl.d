@@ -1,0 +1,1 @@
+lib/p2v/merge.ml: Enforcers Format Int List Prairie Prairie_value Printf String

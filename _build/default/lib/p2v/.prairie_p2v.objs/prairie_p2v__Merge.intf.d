@@ -1,0 +1,1 @@
+lib/p2v/merge.mli: Enforcers Format Prairie

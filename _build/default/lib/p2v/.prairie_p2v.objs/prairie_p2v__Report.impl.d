@@ -1,0 +1,1 @@
+lib/p2v/report.ml: Classify Enforcers Format List Merge Prairie String Translate

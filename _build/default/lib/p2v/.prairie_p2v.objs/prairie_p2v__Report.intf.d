@@ -1,0 +1,1 @@
+lib/p2v/report.mli: Format Translate

@@ -1,0 +1,1 @@
+lib/p2v/translate.ml: Array Classify Enforcers List Merge Prairie Prairie_volcano String

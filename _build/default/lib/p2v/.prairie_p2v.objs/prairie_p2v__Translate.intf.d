@@ -1,0 +1,1 @@
+lib/p2v/translate.mli: Classify Merge Prairie Prairie_volcano

@@ -1,0 +1,80 @@
+module Trule = Prairie.Trule
+module Irule = Prairie.Irule
+
+type t = {
+  ruleset_name : string;
+  prairie_trules : int;
+  prairie_irules : int;
+  volcano_trans : int;
+  volcano_impl : int;
+  volcano_enforcers : int;
+  enforcer_operators : string list;
+  composed_pairs : (string * string) list;
+  cost_properties : string list;
+  physical_properties : string list;
+  argument_properties : string list;
+  prairie_spec_size : int;
+  volcano_spec_size : int;
+  warnings : string list;
+}
+
+let stmts_of_trule (r : Trule.t) =
+  List.length r.Trule.pre_test + List.length r.Trule.post_test + 1
+
+let stmts_of_irule (r : Irule.t) =
+  List.length r.Irule.pre_opt + List.length r.Irule.post_opt + 1
+
+let of_translation (tr : Translate.t) =
+  let m = tr.Translate.merge in
+  let src = m.Merge.source in
+  let volcano_spec_size =
+    (* rules + statements + the four support functions per impl_rule and
+       two code blocks per trans_rule that a hand-coded Volcano rule set
+       must supply (paper Table 4) *)
+    List.fold_left (fun n r -> n + stmts_of_trule r + 2) 0 m.Merge.trans_trules
+    + List.fold_left (fun n r -> n + stmts_of_irule r + 4) 0 m.Merge.impl_irules
+    + (4 * Merge.enforcer_count m)
+  in
+  {
+    ruleset_name = src.Prairie.Ruleset.name;
+    prairie_trules = Prairie.Ruleset.trule_count src;
+    prairie_irules = Prairie.Ruleset.irule_count src;
+    volcano_trans = Merge.trans_rule_count m;
+    volcano_impl = Merge.impl_rule_count m;
+    volcano_enforcers = Merge.enforcer_count m;
+    enforcer_operators =
+      List.map (fun (i : Enforcers.info) -> i.Enforcers.operator)
+        m.Merge.enforcer_infos;
+    composed_pairs = m.Merge.composed;
+    cost_properties = tr.Translate.classification.Classify.cost;
+    physical_properties = tr.Translate.classification.Classify.physical;
+    argument_properties = tr.Translate.classification.Classify.argument;
+    prairie_spec_size = Prairie.Ruleset.spec_size src;
+    volcano_spec_size;
+    warnings = m.Merge.warnings;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>P2V report for rule set %S" t.ruleset_name;
+  Format.fprintf ppf "@,Prairie:  %d T-rules, %d I-rules" t.prairie_trules
+    t.prairie_irules;
+  Format.fprintf ppf "@,Volcano:  %d trans_rules, %d impl_rules, %d enforcers"
+    t.volcano_trans t.volcano_impl t.volcano_enforcers;
+  Format.fprintf ppf "@,enforcer-operators: %s"
+    (match t.enforcer_operators with
+    | [] -> "(none)"
+    | ops -> String.concat ", " ops);
+  List.iter
+    (fun (a, b) -> Format.fprintf ppf "@,composed: %s + %s" a b)
+    t.composed_pairs;
+  Format.fprintf ppf "@,cost properties:     %s"
+    (String.concat ", " t.cost_properties);
+  Format.fprintf ppf "@,physical properties: %s"
+    (String.concat ", " t.physical_properties);
+  Format.fprintf ppf "@,argument properties: %s"
+    (String.concat ", " t.argument_properties);
+  Format.fprintf ppf "@,spec size (Prairie): %d units" t.prairie_spec_size;
+  Format.fprintf ppf "@,spec size (hand-coded Volcano equivalent): %d units"
+    t.volcano_spec_size;
+  List.iter (fun w -> Format.fprintf ppf "@,warning: %s" w) t.warnings;
+  Format.fprintf ppf "@]"

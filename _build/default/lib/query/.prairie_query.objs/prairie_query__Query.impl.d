@@ -1,0 +1,1 @@
+lib/query/query.ml: Format List Option Prairie_algebra Prairie_catalog Prairie_dsl Prairie_value Printf String

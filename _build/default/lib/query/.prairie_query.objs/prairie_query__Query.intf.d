@@ -1,0 +1,1 @@
+lib/query/query.mli: Prairie Prairie_catalog Prairie_value

@@ -1,0 +1,273 @@
+module A = Prairie_value.Attribute
+module P = Prairie_value.Predicate
+module O = Prairie_value.Order
+module Catalog = Prairie_catalog.Catalog
+module Stored_file = Prairie_catalog.Stored_file
+module Lexer = Prairie_dsl.Lexer
+module Token = Prairie_dsl.Token
+module Init = Prairie_algebra.Init
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type t = {
+  projection : A.t list option;
+  tables : string list;
+  where : P.t;
+  order_by : A.t list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (over the rule-language lexer; SQL keywords are plain
+   identifiers there, matched case-insensitively)                      *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { mutable toks : Lexer.spanned list }
+
+let peek c =
+  match c.toks with
+  | [] -> Token.EOF
+  | s :: _ -> s.Lexer.token
+
+let advance c = match c.toks with [] -> () | _ :: rest -> c.toks <- rest
+
+let is_word c w =
+  match peek c with
+  | Token.IDENT s -> String.lowercase_ascii s = w
+  | _ -> false
+
+let expect_word c w =
+  if is_word c w then advance c
+  else error "expected %S, found %s" w (Token.to_string (peek c))
+
+let ident c =
+  match peek c with
+  | Token.IDENT s ->
+    advance c;
+    s
+  | t -> error "expected an identifier, found %s" (Token.to_string t)
+
+(* attribute reference: T.a or bare a *)
+let attr_ref c =
+  let first = ident c in
+  match peek c with
+  | Token.DOT ->
+    advance c;
+    `Qualified (first, ident c)
+  | _ -> `Bare first
+
+let resolve_attr catalog tables = function
+  | `Qualified (owner, name) ->
+    if not (List.mem owner tables) then
+      error "table %s is not in the FROM clause" owner;
+    let a = A.make ~owner ~name in
+    (match Catalog.find catalog owner with
+    | Some f when Stored_file.find_column f name <> None -> a
+    | Some _ -> error "table %s has no attribute %s" owner name
+    | None -> error "unknown table %s" owner)
+  | `Bare name -> (
+    let owners =
+      List.filter
+        (fun t ->
+          match Catalog.find catalog t with
+          | Some f -> Stored_file.find_column f name <> None
+          | None -> false)
+        tables
+    in
+    match owners with
+    | [ owner ] -> A.make ~owner ~name
+    | [] -> error "attribute %s not found in any FROM table" name
+    | _ ->
+      error "attribute %s is ambiguous (in %s)" name (String.concat ", " owners))
+
+let rec parse_pred catalog tables c = parse_or catalog tables c
+
+and parse_or catalog tables c =
+  let lhs = parse_and catalog tables c in
+  if is_word c "or" || peek c = Token.OR then begin
+    advance c;
+    P.Or (lhs, parse_or catalog tables c)
+  end
+  else lhs
+
+and parse_and catalog tables c =
+  let lhs = parse_atom catalog tables c in
+  if is_word c "and" || peek c = Token.AND then begin
+    advance c;
+    P.And (lhs, parse_and catalog tables c)
+  end
+  else lhs
+
+and parse_atom catalog tables c =
+  match peek c with
+  | Token.BANG ->
+    advance c;
+    P.Not (parse_atom catalog tables c)
+  | Token.IDENT s when String.lowercase_ascii s = "not" ->
+    advance c;
+    P.Not (parse_atom catalog tables c)
+  | Token.LPAREN ->
+    advance c;
+    let p = parse_pred catalog tables c in
+    (match peek c with
+    | Token.RPAREN -> advance c
+    | t -> error "expected ')', found %s" (Token.to_string t));
+    p
+  | _ ->
+    let t1 = parse_term catalog tables c in
+    let cmp =
+      match peek c with
+      | Token.ASSIGN | Token.EQ -> P.Eq
+      | Token.NEQ -> P.Ne
+      | Token.LT -> P.Lt
+      | Token.LE -> P.Le
+      | Token.GT -> P.Gt
+      | Token.GE -> P.Ge
+      | t -> error "expected a comparison operator, found %s" (Token.to_string t)
+    in
+    advance c;
+    let t2 = parse_term catalog tables c in
+    P.Cmp (cmp, t1, t2)
+
+and parse_term catalog tables c =
+  match peek c with
+  | Token.INT i ->
+    advance c;
+    P.T_int i
+  | Token.MINUS -> (
+    advance c;
+    match peek c with
+    | Token.INT i ->
+      advance c;
+      P.T_int (-i)
+    | Token.FLOAT f ->
+      advance c;
+      P.T_float (-.f)
+    | t -> error "expected a number after '-', found %s" (Token.to_string t))
+  | Token.FLOAT f ->
+    advance c;
+    P.T_float f
+  | Token.STRING s ->
+    advance c;
+    P.T_string s
+  | Token.IDENT _ -> P.T_attr (resolve_attr catalog tables (attr_ref c))
+  | t -> error "expected a value or attribute, found %s" (Token.to_string t)
+
+let parse catalog src =
+  let c =
+    try { toks = Lexer.tokenize src }
+    with Lexer.Lex_error (pos, msg) ->
+      error "lexical error at %s: %s" (Format.asprintf "%a" Lexer.pp_position pos) msg
+  in
+  expect_word c "select";
+  let projection_raw =
+    if peek c = Token.STAR then begin
+      advance c;
+      None
+    end
+    else
+      let rec go acc =
+        let a = attr_ref c in
+        if peek c = Token.COMMA then begin
+          advance c;
+          go (a :: acc)
+        end
+        else List.rev (a :: acc)
+      in
+      Some (go [])
+  in
+  expect_word c "from";
+  let tables =
+    let rec go acc =
+      let t = ident c in
+      (match Catalog.find catalog t with
+      | Some _ -> ()
+      | None -> error "unknown table %s" t);
+      if peek c = Token.COMMA then begin
+        advance c;
+        go (t :: acc)
+      end
+      else List.rev (t :: acc)
+    in
+    go []
+  in
+  let where =
+    if is_word c "where" then begin
+      advance c;
+      parse_pred catalog tables c
+    end
+    else P.True
+  in
+  let order_by =
+    if is_word c "order" then begin
+      advance c;
+      expect_word c "by";
+      let rec go acc =
+        let a = resolve_attr catalog tables (attr_ref c) in
+        if peek c = Token.COMMA then begin
+          advance c;
+          go (a :: acc)
+        end
+        else List.rev (a :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  (match peek c with
+  | Token.EOF -> ()
+  | t -> error "trailing input: %s" (Token.to_string t));
+  let projection =
+    Option.map (List.map (resolve_attr catalog tables)) projection_raw
+  in
+  { projection; tables; where; order_by }
+
+(* ------------------------------------------------------------------ *)
+(* Compilation to an initialized operator tree                         *)
+(* ------------------------------------------------------------------ *)
+
+let compile catalog q =
+  match q.tables with
+  | [] -> error "no tables"
+  | first :: rest ->
+    let conjuncts = P.conjuncts q.where in
+    (* a left-deep join chain in FROM order: each new table is connected by
+       the equality conjuncts spanning it and the already-joined tables *)
+    let joined, remaining =
+      List.fold_left
+        (fun (tree, (owners, conjs)) table ->
+          let connects p =
+            P.references_only ~owners:(table :: owners) p
+            && (not (P.references_only ~owners p))
+            && not (P.references_only ~owners:[ table ] p)
+          in
+          let mine, rest = List.partition connects conjs in
+          if mine = [] then
+            error "table %s is not connected to %s by any predicate (cross \
+                   products are not supported)"
+              table
+              (String.concat ", " owners);
+          let pred = P.of_conjuncts mine in
+          (Init.join catalog ~pred tree (Init.ret catalog table), (table :: owners, rest)))
+        (Init.ret catalog first, ([ first ], conjuncts))
+        rest
+      |> fun (tree, (_, conjs)) -> (tree, conjs)
+    in
+    (* everything else — single-table or residual — goes into a root SELECT
+       for the pushdown rules to place *)
+    let tree =
+      match remaining with
+      | [] -> joined
+      | _ -> Init.select catalog ~pred:(P.of_conjuncts remaining) joined
+    in
+    let tree =
+      match q.projection with
+      | None -> tree
+      | Some attrs -> Init.project catalog ~attrs tree
+    in
+    match q.order_by with
+    | [] -> tree
+    | attrs -> Init.sort catalog ~order:(O.sorted attrs) tree
+
+let compile_string catalog src = compile catalog (parse catalog src)

@@ -1,0 +1,48 @@
+(** A small SQL-like query front-end.
+
+    The paper assumes (footnote 2) that a query compiler has already turned
+    the user's query into an operator tree before optimization begins; this
+    module is that compiler for a SQL-ish surface syntax:
+
+    {v
+    select <* | attr, ...>
+    from   T1, T2, ...
+    [where <predicate>]
+    [order by attr, ...]
+    v}
+
+    Predicates combine comparisons ([=], [!=], [<], [<=], [>], [>=]) of
+    attributes and constants with [and] / [or] / [not] (the symbolic forms
+    [&&], [||], [!] also parse).  Unqualified attribute names are resolved
+    against the FROM tables.
+
+    Compilation builds the {e initialized} operator tree the optimizer
+    expects: a left-deep join chain in FROM order, whose join predicates
+    are the conjuncts connecting each new table to the tables already
+    joined; everything else — single-table conjuncts included — is left in
+    a root SELECT for the optimizer's pushdown rules to place.  [order by]
+    becomes a root SORT (an explicit enforcer-operator, stripped to a
+    required physical property by P2V). *)
+
+exception Error of string
+
+type t = {
+  projection : Prairie_value.Attribute.t list option;  (** [None] = [*] *)
+  tables : string list;
+  where : Prairie_value.Predicate.t;
+  order_by : Prairie_value.Attribute.t list;
+}
+
+val parse : Prairie_catalog.Catalog.t -> string -> t
+(** Parse and resolve names.
+    @raise Error on syntax errors, unknown tables, unknown or ambiguous
+    attributes. *)
+
+val compile : Prairie_catalog.Catalog.t -> t -> Prairie.Expr.t
+(** Build the initialized operator tree.
+    @raise Error when a table cannot be connected to the previous ones by
+    any equality conjunct (cross products are not in the shipped
+    algebras). *)
+
+val compile_string : Prairie_catalog.Catalog.t -> string -> Prairie.Expr.t
+(** [parse] followed by [compile]. *)

@@ -1,0 +1,1 @@
+lib/ruledsl/ast.ml: List Prairie

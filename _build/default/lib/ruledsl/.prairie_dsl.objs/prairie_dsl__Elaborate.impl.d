@@ -1,0 +1,1 @@
+lib/ruledsl/elaborate.ml: Ast Hashtbl List Parser Prairie Prairie_value Printf

@@ -1,0 +1,1 @@
+lib/ruledsl/elaborate.mli: Ast Prairie

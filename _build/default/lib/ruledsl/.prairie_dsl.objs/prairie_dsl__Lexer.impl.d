@@ -1,0 +1,1 @@
+lib/ruledsl/lexer.ml: Buffer Format List Printf String Token

@@ -1,0 +1,1 @@
+lib/ruledsl/lexer.mli: Format Token

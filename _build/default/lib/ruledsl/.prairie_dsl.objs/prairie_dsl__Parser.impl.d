@@ -1,0 +1,1 @@
+lib/ruledsl/parser.ml: Ast Lexer List Prairie Prairie_value Printf Token

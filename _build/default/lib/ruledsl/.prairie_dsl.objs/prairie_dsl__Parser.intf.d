@@ -1,0 +1,1 @@
+lib/ruledsl/parser.mli: Ast Lexer

@@ -1,0 +1,1 @@
+lib/ruledsl/render.ml: Format List Prairie Prairie_value Printf String

@@ -1,0 +1,1 @@
+lib/ruledsl/render.mli: Format Prairie

@@ -1,0 +1,1 @@
+lib/ruledsl/token.ml: Printf

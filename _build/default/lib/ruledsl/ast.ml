@@ -1,0 +1,39 @@
+(* Surface syntax tree of a rule-specification file.  Patterns, templates,
+   statements and expressions reuse the Prairie core types directly — the
+   surface language is a concrete syntax for them. *)
+
+type rule_body = {
+  rb_name : string;
+  rb_lhs : Prairie.Pattern.t;
+  rb_rhs : Prairie.Pattern.tmpl;
+  rb_pre : Prairie.Action.stmt list;
+  rb_test : Prairie.Action.expr;
+  rb_post : Prairie.Action.stmt list;
+}
+
+type decl =
+  | Dproperty of string * string  (* name, type name *)
+  | Doperator of string * int  (* name, arity *)
+  | Dalgorithm of string * int
+  | Dtrule of rule_body
+  | Dirule of rule_body
+
+type spec = {
+  ruleset_name : string;
+  decls : decl list;
+}
+
+let properties spec =
+  List.filter_map (function Dproperty (n, ty) -> Some (n, ty) | _ -> None) spec.decls
+
+let operators spec =
+  List.filter_map (function Doperator (n, a) -> Some (n, a) | _ -> None) spec.decls
+
+let algorithms spec =
+  List.filter_map (function Dalgorithm (n, a) -> Some (n, a) | _ -> None) spec.decls
+
+let trules spec =
+  List.filter_map (function Dtrule r -> Some r | _ -> None) spec.decls
+
+let irules spec =
+  List.filter_map (function Dirule r -> Some r | _ -> None) spec.decls

@@ -1,0 +1,101 @@
+module Pattern = Prairie.Pattern
+module Value = Prairie_value.Value
+
+exception Elab_error of string list
+
+let pattern_arities pat =
+  let rec go acc = function
+    | Pattern.Pvar _ -> acc
+    | Pattern.Pop (name, _, subs) ->
+      List.fold_left go ((name, List.length subs) :: acc) subs
+  in
+  go [] pat
+
+let tmpl_arities tmpl =
+  let rec go acc = function
+    | Pattern.Tvar _ -> acc
+    | Pattern.Tnode (name, _, subs) ->
+      List.fold_left go ((name, List.length subs) :: acc) subs
+  in
+  go [] tmpl
+
+let elaborate ~helpers (spec : Ast.spec) =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  (* properties *)
+  let props =
+    List.filter_map
+      (fun (name, ty_name) ->
+        match Value.ty_of_string ty_name with
+        | Some ty -> Some (Prairie.Property.declare name ty)
+        | None ->
+          err "property %s: unknown type %s" name ty_name;
+          None)
+      (Ast.properties spec)
+  in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Prairie.Property.t) ->
+      if Hashtbl.mem seen p.Prairie.Property.name then
+        err "duplicate property %s" p.Prairie.Property.name
+      else Hashtbl.add seen p.Prairie.Property.name ())
+    props;
+  (* operators / algorithms *)
+  let operators = Ast.operators spec in
+  let algorithms =
+    (Prairie.Irule.null_algorithm, 1) :: Ast.algorithms spec
+  in
+  let check_arity rule_name kind decls (name, arity) =
+    match List.assoc_opt name decls with
+    | Some declared when declared <> arity ->
+      err "rule %s: %s %s used with arity %d but declared with %d" rule_name
+        kind name arity declared
+    | Some _ -> ()
+    | None -> err "rule %s: undeclared %s %s" rule_name kind name
+  in
+  let known name = List.mem_assoc name operators || List.mem_assoc name algorithms in
+  let check_node rule_name (name, arity) =
+    if List.mem_assoc name operators then
+      check_arity rule_name "operator" operators (name, arity)
+    else if List.mem_assoc name algorithms then
+      check_arity rule_name "algorithm" algorithms (name, arity)
+    else if not (known name) then
+      err "rule %s: undeclared operation %s" rule_name name
+  in
+  let check_rule (r : Ast.rule_body) =
+    List.iter (check_node r.Ast.rb_name) (pattern_arities r.Ast.rb_lhs);
+    List.iter (check_node r.Ast.rb_name) (tmpl_arities r.Ast.rb_rhs)
+  in
+  List.iter check_rule (Ast.trules spec);
+  List.iter check_rule (Ast.irules spec);
+  let trules =
+    List.map
+      (fun (r : Ast.rule_body) ->
+        Prairie.Trule.make ~name:r.Ast.rb_name ~lhs:r.Ast.rb_lhs
+          ~rhs:r.Ast.rb_rhs ~pre_test:r.Ast.rb_pre ~test:r.Ast.rb_test
+          ~post_test:r.Ast.rb_post ())
+      (Ast.trules spec)
+  in
+  let irules =
+    List.map
+      (fun (r : Ast.rule_body) ->
+        Prairie.Irule.make ~name:r.Ast.rb_name ~lhs:r.Ast.rb_lhs
+          ~rhs:r.Ast.rb_rhs ~test:r.Ast.rb_test ~pre_opt:r.Ast.rb_pre
+          ~post_opt:r.Ast.rb_post ())
+      (Ast.irules spec)
+  in
+  let ruleset =
+    Prairie.Ruleset.make ~properties:props
+      ~operators:(List.map fst operators)
+      ~algorithms:(List.map fst algorithms)
+      ~trules ~irules ~helpers spec.Ast.ruleset_name
+  in
+  (match Prairie.Ruleset.validate ruleset with
+  | Ok () -> ()
+  | Error es -> List.iter (fun e -> errs := e :: !errs) es);
+  match List.rev !errs with
+  | [] -> ruleset
+  | es -> raise (Elab_error es)
+
+let load_string ~helpers src = elaborate ~helpers (Parser.parse src)
+let load ~helpers path = elaborate ~helpers (Parser.parse_file path)

@@ -1,0 +1,23 @@
+(** Hand-written lexer for the Prairie rule-specification language.
+
+    The paper's front-end is 4500 lines of flex and bison; this lexer and
+    {!Parser} are its OCaml replacement.  Comments run from [//] to end of
+    line or between [/*] and [*/]. *)
+
+type position = {
+  line : int;  (** 1-based *)
+  column : int;  (** 1-based *)
+}
+
+exception Lex_error of position * string
+
+type spanned = {
+  token : Token.t;
+  pos : position;
+}
+
+val tokenize : string -> spanned list
+(** The token stream, ending with [EOF].
+    @raise Lex_error on malformed input. *)
+
+val pp_position : Format.formatter -> position -> unit

@@ -1,0 +1,16 @@
+(** Pretty-printer from Prairie rule sets back to the rule-specification
+    language.  [parse (render rs)] elaborates to a rule set equivalent to
+    [rs] (round-trip tested), which makes embedded rule sets exportable as
+    [.prairie] files. *)
+
+val expr : Format.formatter -> Prairie.Action.expr -> unit
+
+val stmt : Format.formatter -> Prairie.Action.stmt -> unit
+
+val pattern : Format.formatter -> Prairie.Pattern.t -> unit
+
+val template : Format.formatter -> Prairie.Pattern.tmpl -> unit
+
+val ruleset : Format.formatter -> Prairie.Ruleset.t -> unit
+
+val ruleset_to_string : Prairie.Ruleset.t -> string

@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All synthetic workloads, catalogs and table data are generated from
+    explicit seeds so that experiments are reproducible run-to-run; the
+    global [Random] state is never used. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns an independent generator. *)
+
+val split : t -> t
+(** A new generator derived from (and independent of) the current stream. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,1 @@
+lib/value/attribute.ml: Format Hashtbl Map Set String

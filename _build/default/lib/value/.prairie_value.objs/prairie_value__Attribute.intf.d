@@ -1,0 +1,1 @@
+lib/value/attribute.mli: Format Map Set

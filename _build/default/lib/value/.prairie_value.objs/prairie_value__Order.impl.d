@@ -1,0 +1,1 @@
+lib/value/order.ml: Attribute Format List String

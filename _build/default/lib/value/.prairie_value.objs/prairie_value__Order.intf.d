@@ -1,0 +1,1 @@
+lib/value/order.mli: Attribute Format

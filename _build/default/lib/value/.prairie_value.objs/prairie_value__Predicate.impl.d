@@ -1,0 +1,1 @@
+lib/value/predicate.ml: Attribute Float Format Hashtbl Int List Stdlib String

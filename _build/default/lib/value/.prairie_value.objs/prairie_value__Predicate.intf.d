@@ -1,0 +1,1 @@
+lib/value/predicate.mli: Attribute Format

@@ -1,0 +1,1 @@
+lib/value/value.ml: Attribute Bool Float Format Hashtbl Int List Order Predicate Printf Stdlib String

@@ -1,0 +1,36 @@
+(** Qualified attributes of stored files and streams.
+
+    An attribute is identified by the stored file (relation or class) that
+    owns it and its column name, e.g. [C1.a1].  Attributes of intermediate
+    streams keep the owner of the stored file they originate from, which is
+    how join predicates and index applicability are traced through operator
+    trees. *)
+
+type t
+
+val make : owner:string -> name:string -> t
+(** [make ~owner ~name] builds the attribute [owner.name].  [owner] may be
+    the empty string for an unqualified attribute. *)
+
+val owner : t -> string
+
+val name : t -> string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val to_string : t -> string
+(** [to_string a] prints [owner.name], or just [name] when the owner is
+    empty. *)
+
+val of_string : string -> t
+(** [of_string s] parses ["owner.name"] or a bare ["name"].  Inverse of
+    {!to_string}. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,43 @@
+type t =
+  | Any
+  | Sorted of Attribute.t list
+
+let any = Any
+let sorted = function [] -> Any | attrs -> Sorted attrs
+let sorted_on a = Sorted [ a ]
+let is_any = function Any -> true | Sorted _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Any, Any -> true
+  | Sorted xs, Sorted ys -> List.equal Attribute.equal xs ys
+  | Any, Sorted _ | Sorted _, Any -> false
+
+let compare a b =
+  match (a, b) with
+  | Any, Any -> 0
+  | Any, Sorted _ -> -1
+  | Sorted _, Any -> 1
+  | Sorted xs, Sorted ys -> List.compare Attribute.compare xs ys
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xs', y :: ys' -> Attribute.equal x y && is_prefix xs' ys'
+
+let satisfies ~required ~actual =
+  match (required, actual) with
+  | Any, _ -> true
+  | Sorted _, Any -> false
+  | Sorted r, Sorted a -> is_prefix r a
+
+let attributes = function Any -> [] | Sorted attrs -> attrs
+
+let pp ppf = function
+  | Any -> Format.pp_print_string ppf "DONT_CARE"
+  | Sorted attrs ->
+    Format.fprintf ppf "sorted(%s)"
+      (String.concat ", " (List.map Attribute.to_string attrs))
+
+let to_string t = Format.asprintf "%a" pp t

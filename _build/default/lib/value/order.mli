@@ -1,0 +1,37 @@
+(** Tuple orders of streams.
+
+    The [tuple_order] descriptor property of the paper: a stream is either in
+    no particular order ([Any], the paper's DONT_CARE) or sorted
+    lexicographically on a list of attributes. *)
+
+type t =
+  | Any  (** no order required / unknown order (the paper's DONT_CARE) *)
+  | Sorted of Attribute.t list
+      (** sorted ascending, lexicographically, on the given attributes *)
+
+val any : t
+
+val sorted : Attribute.t list -> t
+(** [sorted attrs] is [Sorted attrs]; [sorted []] collapses to [Any]. *)
+
+val sorted_on : Attribute.t -> t
+(** [sorted_on a] is [sorted [a]]. *)
+
+val is_any : t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val satisfies : required:t -> actual:t -> bool
+(** [satisfies ~required ~actual] holds when a stream with physical order
+    [actual] can be consumed where [required] is requested: either
+    [required] is [Any] or the required attribute list is a prefix of the
+    actual one. *)
+
+val attributes : t -> Attribute.t list
+(** Sort attributes, empty for [Any]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

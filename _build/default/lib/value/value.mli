@@ -1,0 +1,93 @@
+(** Universal values for descriptor properties.
+
+    Prairie descriptors are user-defined lists of ⟨property, value⟩
+    annotations (paper §2.1); this module is the value domain.  All
+    properties — additional operator parameters, statistics, physical
+    properties and the cost — carry values of this single type, which is what
+    lets Prairie treat every property uniformly and defer the
+    logical/physical/argument classification to the P2V pre-processor. *)
+
+type ty =
+  | T_bool
+  | T_int
+  | T_float
+  | T_cost  (** float-valued, but declared COST so P2V classifies it *)
+  | T_string
+  | T_order
+  | T_pred
+  | T_attrs
+  | T_list
+
+type t =
+  | Null  (** absent / uninitialized *)
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Order of Order.t
+  | Pred of Predicate.t
+  | Attrs of Attribute.t list
+  | List of t list
+
+exception Type_error of string
+(** Raised by coercions and arithmetic on incompatible values; the message
+    names the operation and the offending value. *)
+
+val ty_to_string : ty -> string
+
+val ty_of_string : string -> ty option
+(** Parses the type names of the rule-specification language
+    ([BOOL], [INT], [FLOAT], [COST], [STRING], [ORDER], [PREDICATE],
+    [ATTRIBUTES], [LIST]); case-insensitive. *)
+
+val has_ty : t -> ty -> bool
+(** [has_ty v ty] checks representation compatibility ([Null] matches every
+    type; [Float] matches both [T_float] and [T_cost]). *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+(** {1 Coercions} *)
+
+val to_bool : t -> bool
+val to_int : t -> int
+
+val to_float : t -> float
+(** Accepts [Int] and [Float]. *)
+
+val to_string_value : t -> string
+
+val to_order : t -> Order.t
+(** [Null] reads as [Order.Any] (no constraint). *)
+
+val to_pred : t -> Predicate.t
+(** [Null] reads as [True] (no predicate). *)
+
+(** [to_attrs v]: [Null] reads as the empty list. *)
+val to_attrs : t -> Attribute.t list
+val to_list : t -> t list
+
+(** {1 Arithmetic and comparison}
+
+    These implement the expression operators of rule actions (e.g. the cost
+    formula of the Nested_loops I-rule, paper Fig. 6).  Numeric operations
+    promote [Int] to [Float] when mixed. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+
+val cmp : Predicate.comparison -> t -> t -> bool
+(** Polymorphic comparison across values of the same kind; [Eq]/[Ne] work on
+    any values, ordered comparisons require numbers or strings. *)
+
+val truthy : t -> bool
+(** Rule-test truthiness: [Bool b] is [b]; everything else raises
+    {!Type_error} (rule tests must be boolean, paper §2.3). *)
+
+val pp : Format.formatter -> t -> unit
+val to_repr : t -> string

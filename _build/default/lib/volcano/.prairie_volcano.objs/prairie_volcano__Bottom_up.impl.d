@@ -1,0 +1,1 @@
+lib/volcano/bottom_up.ml: Array Hashtbl List Memo Option Plan Prairie Queue Rule Search

@@ -1,0 +1,1 @@
+lib/volcano/bottom_up.mli: Memo Plan Prairie Rule Search

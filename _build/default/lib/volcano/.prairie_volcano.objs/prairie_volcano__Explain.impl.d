@@ -1,0 +1,1 @@
+lib/volcano/explain.ml: Buffer Format List Plan Prairie Prairie_value Printf String

@@ -1,0 +1,1 @@
+lib/volcano/explain.mli: Format Plan

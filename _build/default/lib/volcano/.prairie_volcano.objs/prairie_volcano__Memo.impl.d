@@ -1,0 +1,1 @@
+lib/volcano/memo.ml: Array Format Hashtbl Int List Plan Prairie Stats String

@@ -1,0 +1,1 @@
+lib/volcano/memo.mli: Format Plan Prairie Stats

@@ -1,0 +1,1 @@
+lib/volcano/plan.ml: Format List Prairie Prairie_value String

@@ -1,0 +1,1 @@
+lib/volcano/plan.mli: Format Prairie

@@ -1,0 +1,1 @@
+lib/volcano/rule.ml: List Prairie Prairie_value String

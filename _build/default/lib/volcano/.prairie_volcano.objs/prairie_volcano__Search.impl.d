@@ -1,0 +1,1 @@
+lib/volcano/search.ml: Array Float List Logs Memo Plan Prairie Rule Stats String

@@ -1,0 +1,1 @@
+lib/volcano/search.mli: Logs Memo Plan Prairie Rule Stats

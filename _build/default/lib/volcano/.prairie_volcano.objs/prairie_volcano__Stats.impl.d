@@ -1,0 +1,1 @@
+lib/volcano/stats.ml: Format List

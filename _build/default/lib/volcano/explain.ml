@@ -1,0 +1,77 @@
+module D = Prairie.Descriptor
+module V = Prairie_value.Value
+module O = Prairie_value.Order
+module P = Prairie_value.Predicate
+
+let param_of desc =
+  let pred name =
+    match D.find desc name with
+    | Some (V.Pred p) when not (P.equal p P.True) -> Some (P.to_string p)
+    | _ -> None
+  in
+  let attrs name =
+    match D.find desc name with
+    | Some (V.Attrs (_ :: _ as l)) ->
+      Some (String.concat ", " (List.map Prairie_value.Attribute.to_string l))
+    | _ -> None
+  in
+  match pred "selection_predicate" with
+  | Some s -> Some s
+  | None -> (
+    match pred "join_predicate" with
+    | Some s -> Some s
+    | None -> (
+      match attrs "mat_attribute" with
+      | Some s -> Some ("deref " ^ s)
+      | None -> (
+        match attrs "unnest_attribute" with
+        | Some s -> Some ("unnest " ^ s)
+        | None -> attrs "projected_attributes")))
+
+let annotations ~leaf desc =
+  let buf = Buffer.create 32 in
+  if not leaf then Buffer.add_string buf (Printf.sprintf "cost=%.2f  " (D.cost desc));
+  (match D.find desc "num_records" with
+  | Some (V.Int n) -> Buffer.add_string buf (Printf.sprintf "rows=%d" n)
+  | _ -> ());
+  (match D.get_order desc "tuple_order" with
+  | O.Any -> ()
+  | o -> Buffer.add_string buf (Printf.sprintf "  order=%s" (O.to_string o)));
+  Buffer.contents buf
+
+let pp ppf plan =
+  let rec go prefix child_prefix (p : Plan.t) =
+    let label, desc, leaf, inputs =
+      match p with
+      | Plan.Leaf (name, d) -> (name, d, true, [])
+      | Plan.Alg (alg, d, inputs) ->
+        let label =
+          match param_of d with
+          | Some param -> Printf.sprintf "%s [%s]" alg param
+          | None -> alg
+        in
+        (label, d, false, inputs)
+    in
+    Format.fprintf ppf "%s%-46s %s@." prefix label (annotations ~leaf desc);
+    let n = List.length inputs in
+    List.iteri
+      (fun i sub ->
+        let last = i = n - 1 in
+        let branch = if last then "└─ " else "├─ " in
+        let cont = if last then "   " else "│  " in
+        go (child_prefix ^ branch) (child_prefix ^ cont) sub)
+      inputs
+  in
+  go "" "" plan
+
+let to_string plan = Format.asprintf "%a" pp plan
+
+let summary plan =
+  let desc = Plan.descriptor plan in
+  let rows =
+    match D.find desc "num_records" with
+    | Some (V.Int n) -> string_of_int n
+    | _ -> "?"
+  in
+  Printf.sprintf "cost %.2f, ~%s rows, algorithms: %s" (Plan.cost plan) rows
+    (String.concat ", " (Plan.algorithms plan))

@@ -1,0 +1,22 @@
+(** EXPLAIN-style rendering of access plans.
+
+    A human-oriented tree view of a plan with the information an engineer
+    asks of an optimizer: per-node algorithm, the predicate or attribute it
+    was parameterized with, estimated cardinality, delivered order, and
+    cumulative cost — all read out of the descriptors the rules computed. *)
+
+val pp : Format.formatter -> Plan.t -> unit
+(** Multi-line tree, e.g.:
+    {v
+    Pointer_join                 cost=42.11  rows=6  order=sorted(C1.oid)
+    ├─ Merge_sort                cost=8.49   rows=6  order=sorted(C1.oid)
+    │  └─ Index_scan [C1.bC1 = 3]  cost=8.39 rows=6
+    │     └─ C1                  rows=1278
+    └─ File_scan                 cost=33.49  rows=1143
+       └─ C2                     rows=1143
+    v} *)
+
+val to_string : Plan.t -> string
+
+val summary : Plan.t -> string
+(** One line: total cost, result cardinality, algorithms used. *)

@@ -1,0 +1,269 @@
+module Descriptor = Prairie.Descriptor
+module Expr = Prairie.Expr
+
+type gid = int
+
+type lnode =
+  | L_op of string
+  | L_file of string
+
+type lexpr = {
+  id : int;
+  node : lnode;
+  arg : Descriptor.t;
+  inputs : gid array;
+}
+
+type gtree =
+  | Gleaf of gid
+  | Gnode of string * Descriptor.t * gtree list
+
+type winner = {
+  plan : Plan.t option;
+  cost : float;
+  searched_limit : float;
+}
+
+type group = {
+  g_id : gid;
+  mutable members : lexpr list;
+  mutable desc : Descriptor.t;
+  mutable explored : bool;
+  mutable exploring : bool;
+  mutable winners : (Descriptor.t * winner) list;
+}
+
+module Key = struct
+  type t = lnode * Descriptor.t * gid array
+
+  let equal (n1, d1, i1) (n2, d2, i2) =
+    n1 = n2
+    && Array.length i1 = Array.length i2
+    && Array.for_all2 Int.equal i1 i2
+    && Descriptor.equal d1 d2
+
+  let hash (n, d, i) = Hashtbl.hash (n, Descriptor.hash d, Array.to_list i)
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+type t = {
+  parents : (gid, gid) Hashtbl.t;
+  groups : (gid, group) Hashtbl.t;  (** canonical gid -> group *)
+  mutable next_gid : int;
+  mutable next_lexpr : int;
+  index : (int * gid) Ktbl.t;  (** dedup: key -> (lexpr id, group) *)
+  tried : (int * string, unit) Hashtbl.t;
+  stats : Stats.t;
+}
+
+let create ?(stats = Stats.create ()) () =
+  {
+    parents = Hashtbl.create 64;
+    groups = Hashtbl.create 64;
+    next_gid = 0;
+    next_lexpr = 0;
+    index = Ktbl.create 256;
+    tried = Hashtbl.create 256;
+    stats;
+  }
+
+let stats t = t.stats
+
+let rec canonical t g =
+  match Hashtbl.find_opt t.parents g with
+  | None -> g
+  | Some p ->
+    let root = canonical t p in
+    if root <> p then Hashtbl.replace t.parents g root;
+    root
+
+let group t g = Hashtbl.find t.groups (canonical t g)
+let group_desc t g = (group t g).desc
+let lexprs t g = List.rev (group t g).members
+let group_count t = Hashtbl.length t.groups
+
+let lexpr_count t =
+  Hashtbl.fold (fun _ g n -> n + List.length g.members) t.groups 0
+
+let groups t =
+  Hashtbl.fold (fun gid _ acc -> gid :: acc) t.groups [] |> List.sort Int.compare
+
+let is_explored t g = (group t g).explored
+let set_explored t g v = (group t g).explored <- v
+let is_exploring t g = (group t g).exploring
+let set_exploring t g v = (group t g).exploring <- v
+let rule_tried t (le : lexpr) rule = Hashtbl.mem t.tried (le.id, rule)
+let mark_rule_tried t (le : lexpr) rule = Hashtbl.replace t.tried (le.id, rule) ()
+
+let find_winner t g req =
+  let grp = group t g in
+  List.find_map
+    (fun (r, w) -> if Descriptor.equal r req then Some w else None)
+    grp.winners
+
+let set_winner t g req w =
+  let grp = group t g in
+  grp.winners <-
+    (req, w)
+    :: List.filter (fun (r, _) -> not (Descriptor.equal r req)) grp.winners
+
+let clear_winners t =
+  Hashtbl.iter (fun _ g -> g.winners <- []) t.groups
+
+let fresh_group t desc =
+  let g =
+    {
+      g_id = t.next_gid;
+      members = [];
+      desc;
+      explored = false;
+      exploring = false;
+      winners = [];
+    }
+  in
+  t.next_gid <- t.next_gid + 1;
+  Hashtbl.replace t.groups g.g_id g;
+  t.stats.Stats.groups_created <- t.stats.Stats.groups_created + 1;
+  g
+
+let key_of t node arg inputs =
+  (node, arg, Array.map (canonical t) inputs)
+
+(* Merge two groups proven equal; the smaller id survives.  Members whose
+   inputs referenced the dead group are canonicalized lazily by
+   [normalize]. *)
+let rec merge t a b =
+  let a = canonical t a and b = canonical t b in
+  if a = b then a
+  else begin
+    let survivor, dead = if a < b then (a, b) else (b, a) in
+    let gs = Hashtbl.find t.groups survivor in
+    let gd = Hashtbl.find t.groups dead in
+    Hashtbl.remove t.groups dead;
+    Hashtbl.replace t.parents dead survivor;
+    gs.members <- gs.members @ gd.members;
+    gs.explored <- false;
+    gs.exploring <- gs.exploring || gd.exploring;
+    gs.winners <- [];
+    t.stats.Stats.groups_merged <- t.stats.Stats.groups_merged + 1;
+    normalize t;
+    canonical t survivor
+  end
+
+(* After a merge, re-canonicalize every member's inputs and rebuild the
+   dedup index; newly-revealed duplicates cascade into further merges. *)
+and normalize t =
+  Ktbl.clear t.index;
+  let pending = ref None in
+  Hashtbl.iter
+    (fun gid g ->
+      g.members <-
+        List.map
+          (fun le -> { le with inputs = Array.map (canonical t) le.inputs })
+          g.members;
+      (* drop duplicates within the group *)
+      let seen = Ktbl.create 8 in
+      g.members <-
+        List.filter
+          (fun le ->
+            let k = (le.node, le.arg, le.inputs) in
+            if Ktbl.mem seen k then false
+            else begin
+              Ktbl.replace seen k ();
+              true
+            end)
+          g.members;
+      List.iter
+        (fun le ->
+          let k = (le.node, le.arg, le.inputs) in
+          match Ktbl.find_opt t.index k with
+          | None -> Ktbl.replace t.index k (le.id, gid)
+          | Some (_, gid') when gid' <> gid ->
+            if !pending = None then pending := Some (gid, gid')
+          | Some _ -> ())
+        g.members)
+    t.groups;
+  match !pending with
+  | Some (x, y) -> ignore (merge t x y)
+  | None -> ()
+
+(* Insert a logical expression, deduplicating globally.  Returns the group
+   it lives in and whether it is new. *)
+let insert_lexpr t ?into node arg inputs =
+  let inputs = Array.map (canonical t) inputs in
+  let key = key_of t node arg inputs in
+  match Ktbl.find_opt t.index key with
+  | Some (_, g) ->
+    t.stats.Stats.lexpr_duplicates <- t.stats.Stats.lexpr_duplicates + 1;
+    let g = canonical t g in
+    let g =
+      match into with
+      | Some target when canonical t target <> g -> merge t target g
+      | _ -> g
+    in
+    (g, false)
+  | None ->
+    let grp =
+      match into with
+      | Some target -> group t target
+      | None -> fresh_group t arg
+    in
+    let le = { id = t.next_lexpr; node; arg; inputs } in
+    t.next_lexpr <- t.next_lexpr + 1;
+    grp.members <- grp.members @ [ le ];
+    grp.explored <- false;
+    Ktbl.replace t.index key (le.id, grp.g_id);
+    t.stats.Stats.lexprs_created <- t.stats.Stats.lexprs_created + 1;
+    (canonical t grp.g_id, true)
+
+let insert_file t name desc =
+  fst (insert_lexpr t (L_file name) desc [||])
+
+let rec insert_expr t (e : Expr.t) =
+  match e with
+  | Expr.Stored (name, d) -> insert_file t name d
+  | Expr.Node (Expr.Operator, name, d, inputs) ->
+    let gids = Array.of_list (List.map (insert_expr t) inputs) in
+    fst (insert_lexpr t (L_op name) d gids)
+  | Expr.Node (Expr.Algorithm, name, _, _) ->
+    invalid_arg ("Memo.insert_expr: algorithm node " ^ name)
+
+let rec insert_gtree t ?into tree =
+  match tree with
+  | Gleaf g -> (canonical t g, false)
+  | Gnode (name, desc, subs) ->
+    let fresh = ref false in
+    let gids =
+      Array.of_list
+        (List.map
+           (fun sub ->
+             let g, f = insert_gtree t sub in
+             if f then fresh := true;
+             g)
+           subs)
+    in
+    let g, f = insert_lexpr t ?into (L_op name) desc gids in
+    (g, f || !fresh)
+
+let pp_lnode ppf = function
+  | L_op name -> Format.pp_print_string ppf name
+  | L_file name -> Format.fprintf ppf "file:%s" name
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>memo: %d groups, %d lexprs" (group_count t)
+    (lexpr_count t);
+  List.iter
+    (fun gid ->
+      let g = Hashtbl.find t.groups gid in
+      Format.fprintf ppf "@,@[<v 2>group %d%s:" gid
+        (if g.explored then " (explored)" else "");
+      List.iter
+        (fun le ->
+          Format.fprintf ppf "@,%a(%s)" pp_lnode le.node
+            (String.concat ", "
+               (List.map string_of_int (Array.to_list le.inputs))))
+        (List.rev g.members);
+      Format.fprintf ppf "@]")
+    (groups t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,95 @@
+(** The memo: equivalence classes of logical expressions.
+
+    Volcano's search-space representation.  A {e group} (equivalence class)
+    collects logical expressions that produce the same stream; a logical
+    expression ({e lexpr}) is an operator applied to input groups, or a
+    stored file.  Duplicate logical expressions are detected globally; when
+    a duplicate is found while inserting into a different group, the two
+    groups are proven equal and merged (union–find).
+
+    The number of live groups after optimization is the "number of
+    equivalence classes" reported in the paper's Figure 14. *)
+
+type gid = int
+(** Group identifier.  Always pass through {!canonical} after merges. *)
+
+type lnode =
+  | L_op of string  (** abstract operator *)
+  | L_file of string  (** stored file leaf *)
+
+type lexpr = {
+  id : int;  (** unique per memo *)
+  node : lnode;
+  arg : Prairie.Descriptor.t;  (** the operator's descriptor *)
+  inputs : gid array;
+}
+
+(** Trees over groups: the shape a transformation-rule RHS instantiates
+    into before insertion. *)
+type gtree =
+  | Gleaf of gid
+  | Gnode of string * Prairie.Descriptor.t * gtree list
+
+type t
+
+val create : ?stats:Stats.t -> unit -> t
+
+val stats : t -> Stats.t
+
+val canonical : t -> gid -> gid
+
+val group_desc : t -> gid -> Prairie.Descriptor.t
+(** Logical annotations shared by the group (attributes, cardinality, ...):
+    what a stream variable's descriptor [Di] binds to. *)
+
+val lexprs : t -> gid -> lexpr list
+(** Current members of the group. *)
+
+val insert_file : t -> string -> Prairie.Descriptor.t -> gid
+(** Group holding a stored-file leaf (idempotent per file name+descriptor). *)
+
+val insert_expr : t -> Prairie.Expr.t -> gid
+(** Insert an initial operator tree bottom-up; group descriptors are taken
+    from node descriptors.
+    @raise Invalid_argument on algorithm nodes. *)
+
+val insert_gtree : t -> ?into:gid -> gtree -> gid * bool
+(** Insert a rule-output tree.  [into] forces the root into an existing
+    group (merging groups if the root lexpr already lives elsewhere).
+    Returns the root's group and whether any {e new} lexpr was created. *)
+
+val group_count : t -> int
+(** Number of live (canonical) groups — Figure 14's metric. *)
+
+val lexpr_count : t -> int
+(** Number of distinct logical expressions in the memo. *)
+
+val groups : t -> gid list
+(** All live group ids. *)
+
+(** {1 Per-group search bookkeeping} *)
+
+val is_explored : t -> gid -> bool
+val set_explored : t -> gid -> bool -> unit
+val is_exploring : t -> gid -> bool
+val set_exploring : t -> gid -> bool -> unit
+
+val rule_tried : t -> lexpr -> string -> bool
+(** Has the (lexpr, trans-rule) pair already been processed? *)
+
+val mark_rule_tried : t -> lexpr -> string -> unit
+
+(** Winners of [find_best_plan] memoization: keyed by required physical
+    properties. *)
+
+type winner = {
+  plan : Plan.t option;  (** [None]: searched and failed *)
+  cost : float;  (** plan cost, or infinity *)
+  searched_limit : float;  (** the cost limit the search ran under *)
+}
+
+val find_winner : t -> gid -> Prairie.Descriptor.t -> winner option
+val set_winner : t -> gid -> Prairie.Descriptor.t -> winner -> unit
+val clear_winners : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+module Descriptor = Prairie.Descriptor
+module Value = Prairie_value.Value
+module Order = Prairie_value.Order
+
+type denv = (string * Descriptor.t) list
+
+let denv_get env d =
+  match List.assoc_opt d env with Some x -> x | None -> Descriptor.empty
+
+let denv_set env d v = (d, v) :: List.remove_assoc d env
+
+type trans_rule = {
+  tr_name : string;
+  tr_lhs : Prairie.Pattern.t;
+  tr_rhs : Prairie.Pattern.tmpl;
+  tr_cond : denv -> denv option;
+  tr_appl : denv -> denv;
+}
+
+type impl_rule = {
+  ir_name : string;
+  ir_op : string;
+  ir_alg : string;
+  ir_arity : int;
+  ir_cond :
+    op_arg:Descriptor.t ->
+    req:Descriptor.t ->
+    inputs:Descriptor.t array ->
+    bool;
+  ir_input_reqs :
+    op_arg:Descriptor.t ->
+    req:Descriptor.t ->
+    inputs:Descriptor.t array ->
+    Descriptor.t array;
+  ir_finalize :
+    op_arg:Descriptor.t ->
+    req:Descriptor.t ->
+    inputs:Descriptor.t array ->
+    Descriptor.t;
+}
+
+type enforcer = {
+  en_name : string;
+  en_alg : string;
+  en_applies : req:Descriptor.t -> bool;
+  en_relaxed : req:Descriptor.t -> Descriptor.t;
+  en_finalize : req:Descriptor.t -> input:Descriptor.t -> Descriptor.t;
+}
+
+type ruleset = {
+  rs_name : string;
+  rs_trans : trans_rule list;
+  rs_impl : impl_rule list;
+  rs_enforcers : enforcer list;
+  rs_physical : string list;
+  rs_satisfies : required:Descriptor.t -> actual:Descriptor.t -> bool;
+}
+
+let default_satisfies ~required ~actual =
+  List.for_all
+    (fun (p, req_v) ->
+      match p with
+      | "tuple_order" ->
+        Order.satisfies ~required:(Value.to_order req_v)
+          ~actual:(Value.to_order (Descriptor.get actual p))
+      | _ -> Value.equal req_v (Descriptor.get actual p))
+    (Descriptor.to_list required)
+
+let make_ruleset ?(trans = []) ?(impl = []) ?(enforcers = [])
+    ?(physical = [ "tuple_order" ]) ?(satisfies = default_satisfies) name =
+  {
+    rs_name = name;
+    rs_trans = trans;
+    rs_impl = impl;
+    rs_enforcers = enforcers;
+    rs_physical = physical;
+    rs_satisfies = satisfies;
+  }
+
+let impl_rules_for rs op =
+  List.filter (fun r -> String.equal r.ir_op op) rs.rs_impl
+
+let restrict_physical rs d = Descriptor.restrict d rs.rs_physical

@@ -1,0 +1,107 @@
+(** Volcano rules: trans_rules, impl_rules and enforcers.
+
+    This is the rule interface of the Volcano optimizer generator (paper
+    §3.1–3.2).  Where Prairie rules are data (statement lists), Volcano
+    rules are code: condition and application functions.  Hand-coded rule
+    sets supply OCaml closures (the analog of the C support functions the
+    paper counts in §4.2); the P2V pre-processor generates the closures
+    from Prairie rules automatically. *)
+
+type denv = (string * Prairie.Descriptor.t) list
+(** Descriptor environments: descriptor-variable bindings produced by
+    pattern matching and extended by condition/application code. *)
+
+val denv_get : denv -> string -> Prairie.Descriptor.t
+(** Unbound variables read as the empty descriptor. *)
+
+val denv_set : denv -> string -> Prairie.Descriptor.t -> denv
+
+type trans_rule = {
+  tr_name : string;
+  tr_lhs : Prairie.Pattern.t;
+      (** pattern over operators; stream variable [?i] binds group
+          descriptors to [Di] *)
+  tr_rhs : Prairie.Pattern.tmpl;
+  tr_cond : denv -> denv option;
+      (** cond_code: pre-test statements + test.  Returns the extended
+          environment on success. *)
+  tr_appl : denv -> denv;
+      (** appl_code: post-test statements computing the remaining output
+          descriptors. *)
+}
+
+type impl_rule = {
+  ir_name : string;
+  ir_op : string;  (** the operator implemented *)
+  ir_alg : string;  (** the algorithm chosen *)
+  ir_arity : int;
+  ir_cond :
+    op_arg:Prairie.Descriptor.t ->
+    req:Prairie.Descriptor.t ->
+    inputs:Prairie.Descriptor.t array ->
+    bool;
+      (** cond_code + do_any_good: is the algorithm applicable and can it
+          contribute to the required physical properties?  [inputs] are the
+          input groups' logical descriptors (e.g. a file's catalog
+          annotations, which an index-scan test inspects). *)
+  ir_input_reqs :
+    op_arg:Prairie.Descriptor.t ->
+    req:Prairie.Descriptor.t ->
+    inputs:Prairie.Descriptor.t array ->
+    Prairie.Descriptor.t array;
+      (** get_input_pv: required physical properties for each input.
+          [inputs] are the input groups' logical descriptors. *)
+  ir_finalize :
+    op_arg:Prairie.Descriptor.t ->
+    req:Prairie.Descriptor.t ->
+    inputs:Prairie.Descriptor.t array ->
+    Prairie.Descriptor.t;
+      (** derive_phy_prop + cost: given the achieved descriptors of the
+          optimized input plans, the full algorithm descriptor (argument,
+          achieved physical properties, cost). *)
+}
+
+type enforcer = {
+  en_name : string;
+  en_alg : string;
+  en_applies : req:Prairie.Descriptor.t -> bool;
+      (** can the enforcer establish part of [req]? *)
+  en_relaxed : req:Prairie.Descriptor.t -> Prairie.Descriptor.t;
+      (** the requirement passed down to the input once the enforcer runs *)
+  en_finalize :
+    req:Prairie.Descriptor.t -> input:Prairie.Descriptor.t -> Prairie.Descriptor.t;
+      (** the enforcer algorithm's descriptor given its optimized input *)
+}
+
+type ruleset = {
+  rs_name : string;
+  rs_trans : trans_rule list;
+  rs_impl : impl_rule list;
+  rs_enforcers : enforcer list;
+  rs_physical : string list;  (** the physical property names *)
+  rs_satisfies :
+    required:Prairie.Descriptor.t -> actual:Prairie.Descriptor.t -> bool;
+      (** does an achieved physical-property vector satisfy a required
+          one? *)
+}
+
+val default_satisfies :
+  required:Prairie.Descriptor.t -> actual:Prairie.Descriptor.t -> bool
+(** Per-property check: [tuple_order] via {!Prairie_value.Order.satisfies},
+    anything else by equality.  Properties absent from [required] are
+    unconstrained. *)
+
+val make_ruleset :
+  ?trans:trans_rule list ->
+  ?impl:impl_rule list ->
+  ?enforcers:enforcer list ->
+  ?physical:string list ->
+  ?satisfies:
+    (required:Prairie.Descriptor.t -> actual:Prairie.Descriptor.t -> bool) ->
+  string ->
+  ruleset
+
+val impl_rules_for : ruleset -> string -> impl_rule list
+
+val restrict_physical : ruleset -> Prairie.Descriptor.t -> Prairie.Descriptor.t
+(** Project a descriptor onto the rule set's physical properties. *)

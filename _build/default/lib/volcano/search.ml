@@ -1,0 +1,301 @@
+module Descriptor = Prairie.Descriptor
+module Pattern = Prairie.Pattern
+
+(* tracing: enable with Logs.Src.set_level Search.log_src (Some Debug) *)
+let log_src = Logs.Src.create "prairie.search" ~doc:"Volcano search tracing"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  memo : Memo.t;
+  rules : Rule.ruleset;
+  st : Stats.t;
+  pruning : bool;
+  group_budget : int option;
+  mutable budget_hit : bool;
+}
+
+let create ?(pruning = true) ?group_budget rules =
+  let st = Stats.create () in
+  {
+    memo = Memo.create ~stats:st ();
+    rules;
+    st;
+    pruning;
+    group_budget;
+    budget_hit = false;
+  }
+
+let budget_exhausted t =
+  match t.group_budget with
+  | None -> false
+  | Some budget ->
+    let hit = Memo.group_count t.memo >= budget in
+    if hit && not t.budget_hit then begin
+      t.budget_hit <- true;
+      Log.debug (fun m -> m "group budget of %d reached; exploration capped" budget)
+    end;
+    hit
+
+let budget_was_hit t = t.budget_hit
+
+let ruleset t = t.rules
+let memo t = t.memo
+let stats t = t.st
+let group_count t = Memo.group_count t.memo
+
+(* Matching environments: stream variables bind groups; descriptor
+   variables bind descriptors (group descriptors for [Di], lexpr arguments
+   for operator descriptor variables). *)
+type menv = {
+  streams : (int * Memo.gid) list;
+  descs : Rule.denv;
+}
+
+let empty_menv = { streams = []; descs = [] }
+
+let gtree_of_tmpl (tmpl : Pattern.tmpl) streams descs =
+  let rec go = function
+    | Pattern.Tvar (i, _) -> (
+      match List.assoc_opt i streams with
+      | Some g -> Memo.Gleaf g
+      | None -> invalid_arg "trans rule RHS uses unbound stream variable")
+    | Pattern.Tnode (name, dvar, subs) ->
+      Memo.Gnode (name, Rule.denv_get descs dvar, List.map go subs)
+  in
+  go tmpl
+
+(* Exploration generates all members of a group by applying trans rules to
+   fixpoint; multi-level patterns recursively explore input groups. *)
+let rec explore ctx gid =
+  let g = Memo.canonical ctx.memo gid in
+  if Memo.is_explored ctx.memo g || Memo.is_exploring ctx.memo g then ()
+  else begin
+    Memo.set_exploring ctx.memo g true;
+    let changed = ref true in
+    while !changed && not (budget_exhausted ctx) do
+      changed := false;
+      let merges_before = ctx.st.Stats.groups_merged in
+      let members = Memo.lexprs ctx.memo g in
+      List.iter
+        (fun le ->
+          List.iter
+            (fun (tr : Rule.trans_rule) ->
+              if not (Memo.rule_tried ctx.memo le tr.tr_name) then begin
+                Memo.mark_rule_tried ctx.memo le tr.tr_name;
+                let envs = match_lexpr ctx tr.tr_lhs le empty_menv in
+                if envs <> [] then Stats.record_trans_match ctx.st tr.tr_name;
+                List.iter
+                  (fun env ->
+                    match tr.tr_cond env.descs with
+                    | None -> ()
+                    | Some descs ->
+                      let descs = tr.tr_appl descs in
+                      Stats.record_trans_applied ctx.st tr.tr_name;
+                      Log.debug (fun m ->
+                          m "group %d: trans rule %s fired" g tr.tr_name);
+                      ctx.st.Stats.trans_applications <-
+                        ctx.st.Stats.trans_applications + 1;
+                      let gtree = gtree_of_tmpl tr.tr_rhs env.streams descs in
+                      let target = Memo.canonical ctx.memo g in
+                      let _, fresh =
+                        Memo.insert_gtree ctx.memo ~into:target gtree
+                      in
+                      if fresh then changed := true)
+                  envs
+              end)
+            ctx.rules.Rule.rs_trans)
+        members;
+      if ctx.st.Stats.groups_merged > merges_before then changed := true
+    done;
+    let g = Memo.canonical ctx.memo g in
+    Memo.set_exploring ctx.memo g false;
+    Memo.set_explored ctx.memo g true
+  end
+
+(* All bindings of [pat] against a specific lexpr. *)
+and match_lexpr ctx (pat : Pattern.t) (le : Memo.lexpr) env : menv list =
+  match (pat, le.Memo.node) with
+  | Pattern.Pop (name, dvar, subs), Memo.L_op n
+    when String.equal n name && Array.length le.Memo.inputs = List.length subs
+    ->
+    let env = { env with descs = Rule.denv_set env.descs dvar le.Memo.arg } in
+    let rec fold_inputs i pats envs =
+      match pats with
+      | [] -> envs
+      | p :: rest ->
+        let g = le.Memo.inputs.(i) in
+        let envs' = List.concat_map (fun e -> match_sub ctx p g e) envs in
+        fold_inputs (i + 1) rest envs'
+    in
+    fold_inputs 0 subs [ env ]
+  | Pattern.Pop _, (Memo.L_op _ | Memo.L_file _) -> []
+  | Pattern.Pvar _, _ ->
+    invalid_arg "trans rule LHS must be rooted at an operator"
+
+(* All bindings of [pat] against any member of group [g]. *)
+and match_sub ctx (pat : Pattern.t) g env : menv list =
+  let g = Memo.canonical ctx.memo g in
+  match pat with
+  | Pattern.Pvar i ->
+    let desc = Memo.group_desc ctx.memo g in
+    [
+      {
+        streams = (i, g) :: env.streams;
+        descs = Rule.denv_set env.descs (Pattern.stream_desc_name i) desc;
+      };
+    ]
+  | Pattern.Pop _ ->
+    explore ctx g;
+    let g = Memo.canonical ctx.memo g in
+    List.concat_map
+      (fun le -> match_lexpr ctx pat le env)
+      (Memo.lexprs ctx.memo g)
+
+let explore_group = explore
+let infinity_limit = infinity
+
+(* FindBestPlan *)
+let rec optimize_group ctx gid ~req ~limit : Plan.t option =
+  let req = Rule.restrict_physical ctx.rules req in
+  let g = Memo.canonical ctx.memo gid in
+  ctx.st.Stats.optimize_calls <- ctx.st.Stats.optimize_calls + 1;
+  match Memo.find_winner ctx.memo g req with
+  | Some { plan = Some p; cost; _ } ->
+    ctx.st.Stats.memo_hits <- ctx.st.Stats.memo_hits + 1;
+    if (not ctx.pruning) || cost <= limit then Some p else None
+  | Some { plan = None; searched_limit; _ }
+    when (not ctx.pruning) || limit <= searched_limit ->
+    ctx.st.Stats.memo_hits <- ctx.st.Stats.memo_hits + 1;
+    None
+  | Some _ | None -> search_group ctx g ~req ~limit
+
+and search_group ctx g ~req ~limit =
+  Log.debug (fun m ->
+      m "optimize group %d req=%a limit=%.2f" g Descriptor.pp req limit);
+  explore ctx g;
+  let g = Memo.canonical ctx.memo g in
+  let best : (Plan.t * float) option ref = ref None in
+  let budget () =
+    if not ctx.pruning then infinity_limit
+    else match !best with None -> limit | Some (_, c) -> Float.min limit c
+  in
+  let consider plan cost =
+    if ctx.rules.Rule.rs_satisfies ~required:req ~actual:(Plan.descriptor plan)
+    then
+      match !best with
+      | Some (_, c) when c <= cost -> ()
+      | _ -> best := Some (plan, cost)
+  in
+  let members = Memo.lexprs ctx.memo g in
+  let files_only =
+    List.for_all (fun le -> match le.Memo.node with Memo.L_file _ -> true | Memo.L_op _ -> false) members
+  in
+  List.iter (fun le -> cost_lexpr ctx g le ~req ~budget ~consider) members;
+  (* Enforcers establish required properties on top of a plan for the same
+     group optimized under a relaxed requirement.  Stored files are not
+     streams; enforcers never apply directly to file groups. *)
+  if not files_only then
+    List.iter
+      (fun (en : Rule.enforcer) ->
+        if en.Rule.en_applies ~req then begin
+          let relaxed =
+            Rule.restrict_physical ctx.rules (en.Rule.en_relaxed ~req)
+          in
+          if not (Descriptor.equal relaxed req) then
+            match optimize_group ctx g ~req:relaxed ~limit:(budget ()) with
+            | None -> ()
+            | Some sub ->
+              let desc =
+                en.Rule.en_finalize ~req ~input:(Plan.descriptor sub)
+              in
+              ctx.st.Stats.enforcer_firings <-
+                ctx.st.Stats.enforcer_firings + 1;
+              consider (Plan.Alg (en.Rule.en_alg, desc, [ sub ])) (Descriptor.cost desc)
+        end)
+      ctx.rules.Rule.rs_enforcers;
+  let g = Memo.canonical ctx.memo g in
+  (match !best with
+  | Some (plan, cost) ->
+    Log.debug (fun m -> m "group %d: winner %a cost=%.2f" g Plan.pp plan cost);
+    Memo.set_winner ctx.memo g req
+      { Memo.plan = Some plan; cost; searched_limit = limit }
+  | None ->
+    Memo.set_winner ctx.memo g req
+      { Memo.plan = None; cost = infinity_limit; searched_limit = limit });
+  match !best with
+  | Some (plan, cost) when (not ctx.pruning) || cost <= limit -> Some plan
+  | Some _ | None -> None
+
+and cost_lexpr ctx _g le ~req ~budget ~consider =
+  match le.Memo.node with
+  | Memo.L_file name ->
+    (* A stored file delivers its catalog properties at no cost. *)
+    consider (Plan.Leaf (name, le.Memo.arg)) (Descriptor.cost le.Memo.arg)
+  | Memo.L_op op ->
+    List.iter
+      (fun (ir : Rule.impl_rule) ->
+        if ir.Rule.ir_arity = Array.length le.Memo.inputs then begin
+          Stats.record_impl_match ctx.st ir.Rule.ir_name;
+          let input_descs =
+            Array.map (Memo.group_desc ctx.memo) le.Memo.inputs
+          in
+          if ir.Rule.ir_cond ~op_arg:le.Memo.arg ~req ~inputs:input_descs
+          then begin
+            Stats.record_impl_applied ctx.st ir.Rule.ir_name;
+            let reqs =
+              ir.Rule.ir_input_reqs ~op_arg:le.Memo.arg ~req ~inputs:input_descs
+            in
+            (* optimize inputs left to right under a shrinking limit *)
+            let n = Array.length le.Memo.inputs in
+            let plans = Array.make n None in
+            let spent = ref 0.0 in
+            let ok = ref true in
+            let i = ref 0 in
+            while !ok && !i < n do
+              let sub_limit =
+                if ctx.pruning then budget () -. !spent else infinity_limit
+              in
+              (if ctx.pruning && sub_limit < 0.0 then begin
+                 ctx.st.Stats.pruned <- ctx.st.Stats.pruned + 1;
+                 ok := false
+               end
+               else
+                 match
+                   optimize_group ctx le.Memo.inputs.(!i) ~req:reqs.(!i)
+                     ~limit:sub_limit
+                 with
+                 | None ->
+                   if ctx.pruning then
+                     ctx.st.Stats.pruned <- ctx.st.Stats.pruned + 1;
+                   ok := false
+                 | Some p ->
+                   plans.(!i) <- Some p;
+                   spent := !spent +. Plan.cost p);
+              incr i
+            done;
+            if !ok then begin
+              let achieved =
+                Array.map
+                  (function Some p -> Plan.descriptor p | None -> assert false)
+                  plans
+              in
+              let desc =
+                ir.Rule.ir_finalize ~op_arg:le.Memo.arg ~req ~inputs:achieved
+              in
+              ctx.st.Stats.impl_firings <- ctx.st.Stats.impl_firings + 1;
+              let children =
+                Array.to_list
+                  (Array.map (function Some p -> p | None -> assert false) plans)
+              in
+              consider (Plan.Alg (ir.Rule.ir_alg, desc, children))
+                (Descriptor.cost desc)
+            end
+          end
+        end)
+      (Rule.impl_rules_for ctx.rules op)
+
+let optimize ?(required = Descriptor.empty) ctx expr =
+  let g = Memo.insert_expr ctx.memo expr in
+  let req = Rule.restrict_physical ctx.rules required in
+  optimize_group ctx g ~req ~limit:infinity_limit

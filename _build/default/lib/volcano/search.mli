@@ -1,0 +1,54 @@
+(** The Volcano search engine: top-down, memoized, branch-and-bound.
+
+    [FindBestPlan] in the paper's terminology: optimizing a group under a
+    required physical-property vector first saturates the group with
+    transformation-rule applications (exploration), then costs every
+    applicable implementation rule — optimizing inputs on demand with
+    shrinking cost limits — and every applicable enforcer.  Results are
+    memoized per (group, required properties). *)
+
+type t
+
+val log_src : Logs.src
+(** Debug-level tracing of exploration, rule firings and winners; enable
+    with [Logs.Src.set_level Search.log_src (Some Logs.Debug)]. *)
+
+val create : ?pruning:bool -> ?group_budget:int -> Rule.ruleset -> t
+(** A fresh search context with an empty memo.  [pruning] (default [true])
+    enables branch-and-bound cost limits; disabling it is the
+    [ablation-bounding] experiment.
+
+    [group_budget] is the heuristic the paper's conclusion calls for
+    ("extensibility must be judiciously coupled with user heuristics to
+    avoid unpleasant surprises" — their E3/E4 runs exhausted virtual
+    memory): once the memo holds that many equivalence classes,
+    exploration stops generating new alternatives and the search degrades
+    gracefully to the expressions found so far.  Plans remain valid and
+    executable; optimality is no longer guaranteed. *)
+
+val budget_was_hit : t -> bool
+(** Did the group budget cap exploration at any point? *)
+
+val ruleset : t -> Rule.ruleset
+val memo : t -> Memo.t
+val stats : t -> Stats.t
+
+val optimize :
+  ?required:Prairie.Descriptor.t -> t -> Prairie.Expr.t -> Plan.t option
+(** Optimize an initialized operator tree: insert it into the memo and find
+    the cheapest access plan delivering the required physical properties
+    (default: none).  [None] means no plan exists. *)
+
+val optimize_group :
+  t -> Memo.gid -> req:Prairie.Descriptor.t -> limit:float -> Plan.t option
+(** The recursive entry point, exposed for tests.  [req] is restricted to
+    the rule set's physical properties.  Under [pruning], plans costing
+    more than [limit] are not returned. *)
+
+val explore_group : t -> Memo.gid -> unit
+(** Saturate one group with transformation-rule applications (recursively
+    exploring input groups needed by multi-level patterns).  Exposed for
+    the bottom-up strategy, which explores eagerly instead of on demand. *)
+
+val group_count : t -> int
+(** Equivalence classes in the memo (Figure 14's metric). *)

@@ -1,0 +1,82 @@
+type t = {
+  mutable groups_created : int;
+  mutable groups_merged : int;
+  mutable lexprs_created : int;
+  mutable lexpr_duplicates : int;
+  mutable trans_applications : int;
+  mutable impl_firings : int;
+  mutable enforcer_firings : int;
+  mutable memo_hits : int;
+  mutable optimize_calls : int;
+  mutable pruned : int;
+  mutable trans_matched : string list;
+  mutable impl_matched : string list;
+  mutable trans_applied : string list;
+  mutable impl_applied : string list;
+}
+
+let create () =
+  {
+    groups_created = 0;
+    groups_merged = 0;
+    lexprs_created = 0;
+    lexpr_duplicates = 0;
+    trans_applications = 0;
+    impl_firings = 0;
+    enforcer_firings = 0;
+    memo_hits = 0;
+    optimize_calls = 0;
+    pruned = 0;
+    trans_matched = [];
+    impl_matched = [];
+    trans_applied = [];
+    impl_applied = [];
+  }
+
+let reset t =
+  t.groups_created <- 0;
+  t.groups_merged <- 0;
+  t.lexprs_created <- 0;
+  t.lexpr_duplicates <- 0;
+  t.trans_applications <- 0;
+  t.impl_firings <- 0;
+  t.enforcer_firings <- 0;
+  t.memo_hits <- 0;
+  t.optimize_calls <- 0;
+  t.pruned <- 0;
+  t.trans_matched <- [];
+  t.impl_matched <- [];
+  t.trans_applied <- [];
+  t.impl_applied <- []
+
+let record_trans_match t name =
+  if not (List.mem name t.trans_matched) then
+    t.trans_matched <- name :: t.trans_matched
+
+let record_impl_match t name =
+  if not (List.mem name t.impl_matched) then
+    t.impl_matched <- name :: t.impl_matched
+
+let record_trans_applied t name =
+  if not (List.mem name t.trans_applied) then
+    t.trans_applied <- name :: t.trans_applied
+
+let record_impl_applied t name =
+  if not (List.mem name t.impl_applied) then
+    t.impl_applied <- name :: t.impl_applied
+
+let trans_matched_count t = List.length t.trans_matched
+let impl_matched_count t = List.length t.impl_matched
+let trans_applied_count t = List.length t.trans_applied
+let impl_applied_count t = List.length t.impl_applied
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>groups: %d (merged %d)@,logical expressions: %d (dups %d)@,\
+     trans applications: %d (distinct matched %d)@,\
+     impl firings: %d (distinct matched %d)@,\
+     enforcer firings: %d@,memo hits: %d@,optimize calls: %d@,pruned: %d@]"
+    t.groups_created t.groups_merged t.lexprs_created t.lexpr_duplicates
+    t.trans_applications (trans_matched_count t) t.impl_firings
+    (impl_matched_count t) t.enforcer_firings t.memo_hits t.optimize_calls
+    t.pruned

@@ -1,0 +1,43 @@
+(** Search statistics.
+
+    Counters the experiments report: equivalence classes (Figure 14),
+    distinct rules matched (Table 5) and raw search effort. *)
+
+type t = {
+  mutable groups_created : int;
+  mutable groups_merged : int;
+  mutable lexprs_created : int;
+  mutable lexpr_duplicates : int;  (** dedup hits during exploration *)
+  mutable trans_applications : int;  (** successful trans-rule firings *)
+  mutable impl_firings : int;  (** impl-rule plans costed *)
+  mutable enforcer_firings : int;
+  mutable memo_hits : int;
+  mutable optimize_calls : int;
+  mutable pruned : int;  (** sub-searches abandoned by the cost limit *)
+  mutable trans_matched : string list;  (** distinct trans rules whose LHS matched *)
+  mutable impl_matched : string list;  (** distinct impl rules whose operator matched *)
+  mutable trans_applied : string list;
+      (** distinct trans rules whose condition passed at least once *)
+  mutable impl_applied : string list;
+      (** distinct impl rules whose condition passed at least once *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val record_trans_match : t -> string -> unit
+
+val record_impl_match : t -> string -> unit
+
+val trans_matched_count : t -> int
+(** Number of distinct trans_rules matched — the Table 5 metric. *)
+
+val impl_matched_count : t -> int
+
+val record_trans_applied : t -> string -> unit
+val record_impl_applied : t -> string -> unit
+val trans_applied_count : t -> int
+val impl_applied_count : t -> int
+
+val pp : Format.formatter -> t -> unit

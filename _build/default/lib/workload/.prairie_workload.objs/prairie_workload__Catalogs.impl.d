@@ -1,0 +1,1 @@
+lib/workload/catalogs.ml: List Prairie_catalog Prairie_util Prairie_value Printf

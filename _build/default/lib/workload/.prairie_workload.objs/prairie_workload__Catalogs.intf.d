@@ -1,0 +1,1 @@
+lib/workload/catalogs.mli: Prairie_catalog Prairie_value

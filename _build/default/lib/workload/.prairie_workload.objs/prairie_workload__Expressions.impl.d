@@ -1,0 +1,1 @@
+lib/workload/expressions.ml: Catalogs List Prairie_algebra Prairie_value

@@ -1,0 +1,1 @@
+lib/workload/expressions.mli: Prairie Prairie_catalog

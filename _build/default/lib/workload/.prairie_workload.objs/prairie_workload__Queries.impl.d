@@ -1,0 +1,1 @@
+lib/workload/queries.ml: Catalogs Expressions List Prairie Prairie_catalog

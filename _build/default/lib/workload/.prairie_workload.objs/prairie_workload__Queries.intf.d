@@ -1,0 +1,1 @@
+lib/workload/queries.mli: Expressions Prairie Prairie_catalog

@@ -1,0 +1,142 @@
+module Attribute = Prairie_value.Attribute
+module Predicate = Prairie_value.Predicate
+module Stored_file = Prairie_catalog.Stored_file
+module Catalog = Prairie_catalog.Catalog
+module Rng = Prairie_util.Rng
+
+type spec = {
+  classes : int;
+  indexed : bool;
+  card_range : int * int;
+  detail_card_range : int * int;
+  seed : int;
+}
+
+let default_spec ~classes ~indexed ~seed =
+  { classes; indexed; card_range = (200, 2000); detail_card_range = (50, 500); seed }
+
+let class_name i = Printf.sprintf "C%d" i
+let detail_name i = Printf.sprintf "DC%d" i
+let oid i = Attribute.make ~owner:(class_name i) ~name:"oid"
+
+let b_attr i =
+  Attribute.make ~owner:(class_name i) ~name:(Printf.sprintf "bC%d" i)
+
+let ref_attr i =
+  Attribute.make ~owner:(class_name i) ~name:(Printf.sprintf "rC%d" i)
+
+let detail_ref i =
+  Attribute.make ~owner:(class_name i) ~name:(Printf.sprintf "dC%d" i)
+
+let set_attr i =
+  Attribute.make ~owner:(class_name i) ~name:(Printf.sprintf "sC%d" i)
+
+let join_pred i =
+  Predicate.Cmp (Predicate.Eq, Predicate.T_attr (ref_attr i), Predicate.T_attr (oid (i + 1)))
+
+let selection_pred ~classes =
+  Predicate.of_conjuncts
+    (List.init classes (fun k ->
+         let i = k + 1 in
+         Predicate.Cmp (Predicate.Eq, Predicate.T_attr (b_attr i), Predicate.T_int i)))
+
+let hub_name = "H"
+let satellite_name i = Printf.sprintf "S%d" i
+let hub_ref i = Attribute.make ~owner:hub_name ~name:(Printf.sprintf "hS%d" i)
+
+let satellite_b_attr i =
+  Attribute.make ~owner:(satellite_name i) ~name:(Printf.sprintf "bS%d" i)
+
+let star_join_pred i =
+  Predicate.Cmp
+    ( Predicate.Eq,
+      Predicate.T_attr (hub_ref i),
+      Predicate.T_attr (Attribute.make ~owner:(satellite_name i) ~name:"oid") )
+
+let make_star spec =
+  let rng = Rng.create spec.seed in
+  let lo, hi = spec.card_range in
+  let dlo, dhi = spec.detail_card_range in
+  let satellite i =
+    let name = satellite_name i in
+    let card = Rng.in_range rng dlo dhi in
+    let indexes =
+      if spec.indexed then
+        [
+          {
+            Stored_file.index_name = Printf.sprintf "%s_b_ix" name;
+            on = satellite_b_attr i;
+            unique = false;
+          };
+        ]
+      else []
+    in
+    Stored_file.make ~name ~cardinality:card ~tuple_size:100 ~indexes
+      [
+        Stored_file.column ~distinct:card name "oid";
+        Stored_file.column ~distinct:200 name (Printf.sprintf "bS%d" i);
+      ]
+  in
+  let hub =
+    let card = Rng.in_range rng lo hi in
+    Stored_file.make ~name:hub_name ~cardinality:card ~tuple_size:150
+      (Stored_file.column ~distinct:card hub_name "oid"
+      :: List.init spec.classes (fun k ->
+             Stored_file.column ~distinct:50
+               ~ref_to:(satellite_name (k + 1))
+               hub_name
+               (Printf.sprintf "hS%d" (k + 1))))
+  in
+  Catalog.of_files (hub :: List.init spec.classes (fun k -> satellite (k + 1)))
+
+let make spec =
+  let rng = Rng.create spec.seed in
+  let lo, hi = spec.card_range in
+  let dlo, dhi = spec.detail_card_range in
+  let base i =
+    let name = class_name i in
+    let card = Rng.in_range rng lo hi in
+    let columns =
+      [
+        Stored_file.column ~distinct:card name "oid";
+        (* selective enough that an unclustered index beats a full scan *)
+        Stored_file.column ~distinct:200 name (Printf.sprintf "bC%d" i);
+        (* the last class's reference wraps around so that every [rCi] has a
+           live target; only [rC1 .. rC(n-1)] appear in join predicates *)
+        Stored_file.column ~distinct:50
+          ~ref_to:(class_name (if i = spec.classes then 1 else i + 1))
+          name
+          (Printf.sprintf "rC%d" i);
+        Stored_file.column ~distinct:30 ~ref_to:(detail_name i) name
+          (Printf.sprintf "dC%d" i);
+        (* a set-valued attribute, the target of UNNEST *)
+        Stored_file.column ~distinct:3 ~set_valued:true name
+          (Printf.sprintf "sC%d" i);
+      ]
+    in
+    let indexes =
+      if spec.indexed then
+        [
+          {
+            Stored_file.index_name = Printf.sprintf "%s_b_ix" name;
+            on = b_attr i;
+            unique = false;
+          };
+        ]
+      else []
+    in
+    Stored_file.make ~name ~cardinality:card ~tuple_size:120 ~indexes columns
+  in
+  let detail i =
+    let name = detail_name i in
+    let card = Rng.in_range rng dlo dhi in
+    Stored_file.make ~name ~cardinality:card ~tuple_size:80
+      [
+        Stored_file.column ~distinct:card name "oid";
+        Stored_file.column ~distinct:15 name (Printf.sprintf "x%d" i);
+        Stored_file.column ~distinct:25 name (Printf.sprintf "y%d" i);
+      ]
+  in
+  Catalog.of_files
+    (List.concat
+       (List.init spec.classes (fun k -> [ base (k + 1); detail (k + 1) ])))

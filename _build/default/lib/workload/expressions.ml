@@ -1,0 +1,60 @@
+module Init = Prairie_algebra.Init
+
+type family = E1 | E2 | E3 | E4
+
+let family_name = function E1 -> "E1" | E2 -> "E2" | E3 -> "E3" | E4 -> "E4"
+let all_families = [ E1; E2; E3; E4 ]
+
+(* Left-deep join chain over the given per-class leaf builder. *)
+let chain catalog ~joins leaf =
+  let rec go acc i =
+    if i > joins + 1 then acc
+    else
+      go (Init.join catalog ~pred:(Catalogs.join_pred (i - 1)) acc (leaf i)) (i + 1)
+  in
+  go (leaf 1) 2
+
+let e1 catalog ~joins =
+  chain catalog ~joins (fun i -> Init.ret catalog (Catalogs.class_name i))
+
+let e2 catalog ~joins =
+  chain catalog ~joins (fun i ->
+      Init.mat catalog ~attr:(Catalogs.detail_ref i)
+        (Init.ret catalog (Catalogs.class_name i)))
+
+let with_select catalog ~joins expr =
+  Init.select catalog ~pred:(Catalogs.selection_pred ~classes:(joins + 1)) expr
+
+let e3 catalog ~joins = with_select catalog ~joins (e1 catalog ~joins)
+let e4 catalog ~joins = with_select catalog ~joins (e2 catalog ~joins)
+
+let build family catalog ~joins =
+  match family with
+  | E1 -> e1 catalog ~joins
+  | E2 -> e2 catalog ~joins
+  | E3 -> e3 catalog ~joins
+  | E4 -> e4 catalog ~joins
+
+let star catalog ~joins =
+  let rec go acc i =
+    if i > joins then acc
+    else
+      go
+        (Init.join catalog
+           ~pred:(Catalogs.star_join_pred i)
+           acc
+           (Init.ret catalog (Catalogs.satellite_name i)))
+        (i + 1)
+  in
+  go (Init.ret catalog Catalogs.hub_name) 1
+
+let star_select catalog ~joins =
+  let pred =
+    Prairie_value.Predicate.of_conjuncts
+      (List.init joins (fun k ->
+           Prairie_value.Predicate.Cmp
+             ( Prairie_value.Predicate.Eq,
+               Prairie_value.Predicate.T_attr (Catalogs.satellite_b_attr (k + 1)),
+               Prairie_value.Predicate.T_int (k + 1) )))
+  in
+  Init.select catalog ~pred (star catalog ~joins)

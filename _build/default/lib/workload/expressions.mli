@@ -1,0 +1,34 @@
+(** The expression families of the paper's Figure 9.
+
+    Each takes the number of joins [n] (so [n + 1] base classes take part)
+    and builds an initialized operator tree over a {!Catalogs} catalog:
+
+    - {b E1}: a left-deep chain of JOINs over RETrieved classes;
+    - {b E2}: the same, but each class is MATerialized (its detail-class
+      reference dereferenced) after retrieval, before joining;
+    - {b E3}: E1 under a root SELECT whose predicate is a conjunction of
+      [bCi = i] equalities (one per class);
+    - {b E4}: E2 under the same root SELECT. *)
+
+type family = E1 | E2 | E3 | E4
+
+val family_name : family -> string
+
+val all_families : family list
+
+val e1 : Prairie_catalog.Catalog.t -> joins:int -> Prairie.Expr.t
+val e2 : Prairie_catalog.Catalog.t -> joins:int -> Prairie.Expr.t
+val e3 : Prairie_catalog.Catalog.t -> joins:int -> Prairie.Expr.t
+val e4 : Prairie_catalog.Catalog.t -> joins:int -> Prairie.Expr.t
+
+val build : family -> Prairie_catalog.Catalog.t -> joins:int -> Prairie.Expr.t
+
+val star : Prairie_catalog.Catalog.t -> joins:int -> Prairie.Expr.t
+(** A star join over a {!Catalogs.make_star} catalog: the hub joined with
+    each satellite in turn, [((H ⋈ S1) ⋈ S2) ⋈ ...].  Every join
+    predicate references the hub, so re-associations that detach a
+    satellite from the hub are cross products and get rejected — the
+    non-linear query-graph shape the paper left as future work. *)
+
+val star_select : Prairie_catalog.Catalog.t -> joins:int -> Prairie.Expr.t
+(** [star] under a root SELECT over the satellites' [bSi] attributes. *)

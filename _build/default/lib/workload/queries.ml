@@ -1,0 +1,53 @@
+type t = Q1 | Q2 | Q3 | Q4 | Q5 | Q6 | Q7 | Q8
+
+let all = [ Q1; Q2; Q3; Q4; Q5; Q6; Q7; Q8 ]
+
+let name = function
+  | Q1 -> "Q1"
+  | Q2 -> "Q2"
+  | Q3 -> "Q3"
+  | Q4 -> "Q4"
+  | Q5 -> "Q5"
+  | Q6 -> "Q6"
+  | Q7 -> "Q7"
+  | Q8 -> "Q8"
+
+let family = function
+  | Q1 | Q2 -> Expressions.E1
+  | Q3 | Q4 -> Expressions.E2
+  | Q5 | Q6 -> Expressions.E3
+  | Q7 | Q8 -> Expressions.E4
+
+let indexed = function
+  | Q1 | Q3 | Q5 | Q7 -> false
+  | Q2 | Q4 | Q6 | Q8 -> true
+
+let of_int = function
+  | 1 -> Some Q1
+  | 2 -> Some Q2
+  | 3 -> Some Q3
+  | 4 -> Some Q4
+  | 5 -> Some Q5
+  | 6 -> Some Q6
+  | 7 -> Some Q7
+  | 8 -> Some Q8
+  | _ -> None
+
+type instance = {
+  query : t;
+  joins : int;
+  seed : int;
+  catalog : Prairie_catalog.Catalog.t;
+  expr : Prairie.Expr.t;
+}
+
+let instance query ~joins ~seed =
+  let catalog =
+    Catalogs.make
+      (Catalogs.default_spec ~classes:(joins + 1) ~indexed:(indexed query) ~seed)
+  in
+  let expr = Expressions.build (family query) catalog ~joins in
+  { query; joins; seed; catalog; expr }
+
+let instances query ~joins ~seeds =
+  List.map (fun seed -> instance query ~joins ~seed) seeds

@@ -1,0 +1,41 @@
+(** The eight query families of the paper's Table 5.
+
+    | Query | Indices? | Expression |
+    |-------|----------|------------|
+    | Q1    | no       | E1         |
+    | Q2    | yes      | E1         |
+    | Q3    | no       | E2         |
+    | Q4    | yes      | E2         |
+    | Q5    | no       | E3         |
+    | Q6    | yes      | E3         |
+    | Q7    | no       | E4         |
+    | Q8    | yes      | E4         |
+
+    An {e instance} fixes the number of joins and a seed; the paper
+    generates five instances per data point (varying base-class
+    cardinalities) and averages the optimization time. *)
+
+type t = Q1 | Q2 | Q3 | Q4 | Q5 | Q6 | Q7 | Q8
+
+val all : t list
+
+val name : t -> string
+
+val family : t -> Expressions.family
+
+val indexed : t -> bool
+
+val of_int : int -> t option
+(** [of_int 1] is [Q1] ... [of_int 8] is [Q8]. *)
+
+type instance = {
+  query : t;
+  joins : int;
+  seed : int;
+  catalog : Prairie_catalog.Catalog.t;
+  expr : Prairie.Expr.t;
+}
+
+val instance : t -> joins:int -> seed:int -> instance
+
+val instances : t -> joins:int -> seeds:int list -> instance list

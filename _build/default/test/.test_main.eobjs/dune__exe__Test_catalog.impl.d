@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest List Prairie_catalog Prairie_value QCheck2 QCheck_alcotest Test_value

@@ -1,0 +1,1 @@
+test/test_descriptor.ml: Alcotest List Prairie Prairie_value QCheck2 QCheck_alcotest Test_value

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Format List Prairie Prairie_algebra Prairie_catalog Prairie_dsl Prairie_p2v Prairie_value Prairie_volcano Prairie_workload Printf QCheck2 QCheck_alcotest Sys

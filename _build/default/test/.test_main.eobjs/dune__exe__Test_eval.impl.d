@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest List Option Prairie Prairie_algebra Prairie_catalog Prairie_value String

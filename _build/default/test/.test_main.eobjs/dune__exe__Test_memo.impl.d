@@ -1,0 +1,1 @@
+test/test_memo.ml: Alcotest List Prairie Prairie_value Prairie_volcano

@@ -1,0 +1,1 @@
+test/test_oodb.ml: Alcotest Float List Option Prairie Prairie_optimizers Prairie_volcano Prairie_workload Printf

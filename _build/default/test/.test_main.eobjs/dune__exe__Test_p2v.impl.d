@@ -1,0 +1,1 @@
+test/test_p2v.ml: Alcotest Float List Prairie Prairie_algebra Prairie_catalog Prairie_p2v Prairie_util Prairie_value Prairie_volcano QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest List Option Prairie Prairie_value String

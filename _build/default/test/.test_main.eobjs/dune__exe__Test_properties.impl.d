@@ -1,0 +1,1 @@
+test/test_properties.ml: List Prairie Prairie_value Prairie_volcano QCheck2 QCheck_alcotest Set

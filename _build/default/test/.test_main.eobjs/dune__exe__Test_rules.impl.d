@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest List Prairie Prairie_algebra Prairie_catalog Prairie_value

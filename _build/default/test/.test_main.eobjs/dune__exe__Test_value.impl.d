@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Hashtbl List Prairie_value QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Prairie Prairie_catalog Prairie_value Prairie_workload

@@ -1,0 +1,136 @@
+(* The bottom-up (System R-style) strategy must agree with the top-down
+   Volcano engine on every query. *)
+
+module W = Prairie_workload
+module Opt = Prairie_optimizers.Optimizers
+module Search = Prairie_volcano.Search
+module Bottom_up = Prairie_volcano.Bottom_up
+module Plan = Prairie_volcano.Plan
+module Memo = Prairie_volcano.Memo
+module D = Prairie.Descriptor
+module V = Prairie_value.Value
+module O = Prairie_value.Order
+module A = Prairie_value.Attribute
+module P = Prairie_value.Predicate
+module Rel = Prairie_algebra.Relational
+module Catalog = Prairie_catalog.Catalog
+
+let check = Alcotest.(check bool)
+let attr o n = A.make ~owner:o ~name:n
+
+let agreement q joins seed =
+  let inst = W.Queries.instance q ~joins ~seed in
+  let opt = Opt.oodb_prairie inst.W.Queries.catalog in
+  let expr, required = opt.Opt.prepare inst.W.Queries.expr in
+  let top = Opt.optimize opt inst.W.Queries.expr in
+  let bottom = Bottom_up.optimize ~required opt.Opt.volcano expr in
+  match (top.Opt.plan, bottom.Bottom_up.plan) with
+  | Some p1, Some p2 -> Float.abs (Plan.cost p1 -. Plan.cost p2) < 1e-6
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+
+let oodb_tests =
+  List.map
+    (fun q ->
+      Alcotest.test_case
+        (Printf.sprintf "%s: bottom-up == top-down" (W.Queries.name q))
+        `Quick
+        (fun () ->
+          List.iter
+            (fun joins ->
+              List.iter
+                (fun seed -> check "agree" true (agreement q joins seed))
+                [ 3; 17 ])
+            [ 1; 2 ]))
+    W.Queries.all
+
+let rel_catalog =
+  Catalog.of_files
+    [
+      Rel.relation ~name:"R1" ~cardinality:900 ~indexes:[ "a" ] [ ("a", 30); ("b", 10) ];
+      Rel.relation ~name:"R2" ~cardinality:400 [ ("a", 30); ("c", 5) ];
+      Rel.relation ~name:"R3" ~cardinality:80 [ ("c", 5) ];
+    ]
+
+let eq a b = P.Cmp (P.Eq, P.T_attr a, P.T_attr b)
+
+let rel_query () =
+  Rel.join rel_catalog
+    ~pred:(eq (attr "R2" "c") (attr "R3" "c"))
+    (Rel.join rel_catalog
+       ~pred:(eq (attr "R1" "a") (attr "R2" "a"))
+       (Rel.ret rel_catalog "R1") (Rel.ret rel_catalog "R2"))
+    (Rel.ret rel_catalog "R3")
+
+let relational_tests =
+  [
+    Alcotest.test_case "relational 3-way join agrees" `Quick (fun () ->
+        let opt = Opt.relational rel_catalog in
+        let top = Opt.optimize opt (rel_query ()) in
+        let bottom = Bottom_up.optimize opt.Opt.volcano (rel_query ()) in
+        match (top.Opt.plan, bottom.Bottom_up.plan) with
+        | Some p1, Some p2 ->
+          Alcotest.(check (float 1e-6)) "cost" (Plan.cost p1) (Plan.cost p2)
+        | _ -> Alcotest.fail "plans expected on both sides");
+    Alcotest.test_case "required order handled via interesting orders" `Quick
+      (fun () ->
+        let required =
+          D.of_list [ ("tuple_order", V.Order (O.sorted_on (attr "R1" "b"))) ]
+        in
+        let opt = Opt.relational rel_catalog in
+        let top = Opt.optimize ~required opt (rel_query ()) in
+        let bottom = Bottom_up.optimize ~required opt.Opt.volcano (rel_query ()) in
+        match (top.Opt.plan, bottom.Bottom_up.plan) with
+        | Some p1, Some p2 ->
+          Alcotest.(check (float 1e-6)) "cost" (Plan.cost p1) (Plan.cost p2);
+          (* both must actually deliver the order *)
+          check "order delivered" true
+            (O.satisfies
+               ~required:(O.sorted_on (attr "R1" "b"))
+               ~actual:(D.get_order (Plan.descriptor p2) "tuple_order"))
+        | _ -> Alcotest.fail "plans expected on both sides");
+    Alcotest.test_case "bottom-up explores at least as much as top-down" `Quick
+      (fun () ->
+        let opt = Opt.relational rel_catalog in
+        let top = Opt.optimize opt (rel_query ()) in
+        let bottom = Bottom_up.optimize opt.Opt.volcano (rel_query ()) in
+        check "exhaustive" true
+          (bottom.Bottom_up.groups_explored
+          >= Search.group_count top.Opt.search);
+        check "counted requirements" true
+          (bottom.Bottom_up.requirements_considered
+          >= bottom.Bottom_up.groups_explored));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"strategies agree on random relational queries"
+         ~count:25
+         QCheck2.Gen.(0 -- 10_000)
+         (fun seed ->
+           let rng = Prairie_util.Rng.create seed in
+           let catalog =
+             Catalog.of_files
+               [
+                 Rel.relation ~name:"R1"
+                   ~cardinality:(Prairie_util.Rng.in_range rng 10 3000)
+                   ~indexes:(if Prairie_util.Rng.bool rng then [ "a" ] else [])
+                   [ ("a", 40); ("b", 15) ];
+                 Rel.relation ~name:"R2"
+                   ~cardinality:(Prairie_util.Rng.in_range rng 10 3000)
+                   [ ("a", 40) ];
+               ]
+           in
+           let q =
+             Rel.join catalog
+               ~pred:(eq (attr "R1" "a") (attr "R2" "a"))
+               (Rel.ret catalog "R1") (Rel.ret catalog "R2")
+           in
+           let opt = Opt.relational catalog in
+           let top = Opt.optimize opt q in
+           let bottom = Bottom_up.optimize opt.Opt.volcano q in
+           match (top.Opt.plan, bottom.Bottom_up.plan) with
+           | Some p1, Some p2 -> Float.abs (Plan.cost p1 -. Plan.cost p2) < 1e-6
+           | None, None -> true
+           | Some _, None | None, Some _ -> false));
+  ]
+
+let suites =
+  [ ("bottom_up.oodb", oodb_tests); ("bottom_up.relational", relational_tests) ]

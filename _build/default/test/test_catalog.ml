@@ -1,0 +1,123 @@
+(* Catalog, stored files and selectivity estimation. *)
+
+module A = Prairie_value.Attribute
+module P = Prairie_value.Predicate
+module SF = Prairie_catalog.Stored_file
+module Catalog = Prairie_catalog.Catalog
+module Stats = Prairie_catalog.Stats
+
+let attr o n = A.make ~owner:o ~name:n
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let r1 =
+  SF.make ~kind:SF.Relation ~name:"R1" ~cardinality:1000 ~tuple_size:200
+    ~indexes:[ { SF.index_name = "ix"; on = attr "R1" "a"; unique = false } ]
+    [ SF.column ~distinct:100 "R1" "a"; SF.column ~distinct:50 "R1" "b" ]
+
+let c1 =
+  SF.make ~name:"C1" ~cardinality:500
+    [
+      SF.column ~distinct:500 "C1" "oid";
+      SF.column ~distinct:10 ~ref_to:"C2" "C1" "r";
+      SF.column ~distinct:4 ~set_valued:true "C1" "kids";
+    ]
+
+let c2 = SF.make ~name:"C2" ~cardinality:60 [ SF.column ~distinct:60 "C2" "oid" ]
+let catalog = Catalog.of_files [ r1; c1; c2 ]
+
+let stored_file_tests =
+  [
+    Alcotest.test_case "attributes in declaration order" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "attrs" [ "R1.a"; "R1.b" ]
+          (List.map A.to_string (SF.attributes r1)));
+    Alcotest.test_case "index lookup" `Quick (fun () ->
+        check "has" true (SF.has_index_on r1 (attr "R1" "a"));
+        check "hasn't" false (SF.has_index_on r1 (attr "R1" "b")));
+    Alcotest.test_case "pages round up" `Quick (fun () ->
+        check_int "pages" 49 (SF.pages ~page_size:4096 r1);
+        let tiny = SF.make ~name:"T" ~cardinality:1 ~tuple_size:8 [] in
+        check_int "at least one" 1 (SF.pages ~page_size:4096 tiny));
+    Alcotest.test_case "find_column" `Quick (fun () ->
+        check "found" true (SF.find_column c1 "r" <> None);
+        check "missing" true (SF.find_column c1 "zzz" = None));
+  ]
+
+let catalog_tests =
+  [
+    Alcotest.test_case "find and mem" `Quick (fun () ->
+        check "mem" true (Catalog.mem catalog "R1");
+        check "not mem" false (Catalog.mem catalog "XX");
+        check "find" true (Catalog.find catalog "C2" <> None));
+    Alcotest.test_case "files sorted by name" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "names" [ "C1"; "C2"; "R1" ]
+          (List.map (fun f -> f.SF.name) (Catalog.files catalog)));
+    Alcotest.test_case "distinct lookup with default" `Quick (fun () ->
+        check_int "known" 100 (Catalog.distinct_of catalog (attr "R1" "a"));
+        check_int "unknown attr" 10 (Catalog.distinct_of catalog (attr "R1" "zz"));
+        check_int "unknown owner" 10 (Catalog.distinct_of catalog (attr "ZZ" "a")));
+    Alcotest.test_case "ref_target and set_valued" `Quick (fun () ->
+        check "ref" true (Catalog.ref_target catalog (attr "C1" "r") = Some "C2");
+        check "not ref" true (Catalog.ref_target catalog (attr "C1" "oid") = None);
+        check "set valued" true (Catalog.is_set_valued catalog (attr "C1" "kids"));
+        check "scalar" false (Catalog.is_set_valued catalog (attr "C1" "r")));
+    Alcotest.test_case "has_index_on goes through the owner" `Quick (fun () ->
+        check "indexed" true (Catalog.has_index_on catalog (attr "R1" "a"));
+        check "not" false (Catalog.has_index_on catalog (attr "C1" "r")));
+  ]
+
+let eq_const x k = P.Cmp (P.Eq, P.T_attr x, P.T_int k)
+
+let stats_tests =
+  [
+    Alcotest.test_case "equality selectivity is 1/distinct" `Quick (fun () ->
+        Alcotest.(check (float 1e-9))
+          "1/100" 0.01
+          (Stats.selectivity catalog (eq_const (attr "R1" "a") 5)));
+    Alcotest.test_case "conjunction multiplies" `Quick (fun () ->
+        Alcotest.(check (float 1e-9))
+          "1/5000" (1.0 /. 5000.0)
+          (Stats.selectivity catalog
+             (P.And (eq_const (attr "R1" "a") 5, eq_const (attr "R1" "b") 2))));
+    Alcotest.test_case "disjunction bounded by one" `Quick (fun () ->
+        let p = P.Or (P.True, eq_const (attr "R1" "a") 5) in
+        Alcotest.(check (float 1e-9)) "1.0" 1.0 (Stats.selectivity catalog p));
+    Alcotest.test_case "negation complements" `Quick (fun () ->
+        Alcotest.(check (float 1e-9))
+          "0.99" 0.99
+          (Stats.selectivity catalog (P.Not (eq_const (attr "R1" "a") 5))));
+    Alcotest.test_case "equijoin selectivity uses max distinct" `Quick (fun () ->
+        let p = P.Cmp (P.Eq, P.T_attr (attr "C1" "r"), P.T_attr (attr "C2" "oid")) in
+        Alcotest.(check (float 1e-9))
+          "1/60" (1.0 /. 60.0)
+          (Stats.join_selectivity catalog p));
+    Alcotest.test_case "cardinalities floor at one for non-empty input" `Quick
+      (fun () ->
+        check_int "tiny select" 1
+          (Stats.select_cardinality catalog ~input:5 (eq_const (attr "R1" "a") 1));
+        check_int "empty input" 0
+          (Stats.select_cardinality catalog ~input:0 (eq_const (attr "R1" "a") 1)));
+    Alcotest.test_case "join cardinality" `Quick (fun () ->
+        let p = P.Cmp (P.Eq, P.T_attr (attr "C1" "r"), P.T_attr (attr "C2" "oid")) in
+        check_int "500*60/60" 500
+          (Stats.join_cardinality catalog ~left:500 ~right:60 p));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"selectivity always within [0,1]" ~count:300
+         Test_value.gen_pred (fun p ->
+           let s = Stats.selectivity catalog p in
+           s >= 0.0 && s <= 1.0));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"select_cardinality never exceeds input"
+         ~count:300
+         QCheck2.Gen.(pair Test_value.gen_pred (0 -- 10000))
+         (fun (p, n) -> Stats.select_cardinality catalog ~input:n p <= max n 1));
+  ]
+
+let suites =
+  [
+    ("catalog.stored_file", stored_file_tests);
+    ("catalog.catalog", catalog_tests);
+    ("catalog.stats", stats_tests);
+  ]

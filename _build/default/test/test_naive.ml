@@ -1,0 +1,118 @@
+(* The naive exhaustive optimizer (the oracle). *)
+
+module Naive = Prairie.Naive
+module Expr = Prairie.Expr
+module D = Prairie.Descriptor
+module V = Prairie_value.Value
+module O = Prairie_value.Order
+module P = Prairie_value.Predicate
+module A = Prairie_value.Attribute
+module Rel = Prairie_algebra.Relational
+module Catalog = Prairie_catalog.Catalog
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let attr o n = A.make ~owner:o ~name:n
+let eq a b = P.Cmp (P.Eq, P.T_attr a, P.T_attr b)
+
+let catalog =
+  Catalog.of_files
+    [
+      Rel.relation ~name:"R1" ~cardinality:1000 ~indexes:[ "a" ] [ ("a", 100); ("b", 50) ];
+      Rel.relation ~name:"R2" ~cardinality:200 [ ("a", 100); ("c", 20) ];
+      Rel.relation ~name:"R3" ~cardinality:50 [ ("c", 20) ];
+    ]
+
+let ruleset = Rel.ruleset catalog
+let r n = Rel.ret catalog n
+
+let two_way =
+  Rel.join catalog ~pred:(eq (attr "R1" "a") (attr "R2" "a")) (r "R1") (r "R2")
+
+let three_way =
+  Rel.join catalog ~pred:(eq (attr "R2" "c") (attr "R3" "c")) two_way (r "R3")
+
+let logical_tests =
+  [
+    Alcotest.test_case "closure contains the original" `Quick (fun () ->
+        let forms = Naive.logical_forms ruleset two_way in
+        check "self" true (List.exists (Expr.equal two_way) forms));
+    Alcotest.test_case "closure contains the commuted form" `Quick (fun () ->
+        let forms = Naive.logical_forms ruleset two_way in
+        check "commuted" true
+          (List.exists
+             (fun e -> String.equal (Expr.to_string e) "JOIN(RET(R2), RET(R1))")
+             forms));
+    Alcotest.test_case "three-way closure contains all join orders" `Quick
+      (fun () ->
+        let forms = Naive.logical_forms ruleset three_way in
+        let shapes =
+          List.filter
+            (fun e -> String.equal (Expr.label e) "JOIN")
+            forms
+        in
+        (* at least original, commuted, and the right-associated variant *)
+        check "several" true (List.length shapes >= 4);
+        check "reassociated present" true
+          (List.exists
+             (fun e ->
+               String.equal (Expr.to_string e) "JOIN(RET(R1), JOIN(RET(R2), RET(R3)))")
+             forms));
+    Alcotest.test_case "closure is deduplicated" `Quick (fun () ->
+        let forms = Naive.logical_forms ruleset two_way in
+        let rec has_dup = function
+          | [] -> false
+          | x :: rest -> List.exists (Expr.equal x) rest || has_dup rest
+        in
+        check "no dups" false (has_dup forms));
+    Alcotest.test_case "max_forms caps enumeration" `Quick (fun () ->
+        check_int "capped" 2 (List.length (Naive.logical_forms ~max_forms:2 ruleset three_way)));
+  ]
+
+let plan_tests =
+  [
+    Alcotest.test_case "all plans are access plans" `Quick (fun () ->
+        let plans = Naive.plans ruleset ~required:D.empty two_way in
+        check "non-empty" true (plans <> []);
+        check "all plans" true (List.for_all Expr.is_access_plan plans));
+    Alcotest.test_case "every plan retains both relations" `Quick (fun () ->
+        let plans = Naive.plans ruleset ~required:D.empty two_way in
+        check "files" true
+          (List.for_all
+             (fun p ->
+               List.sort compare (Expr.stored_files p) = [ "R1"; "R2" ])
+             plans));
+    Alcotest.test_case "best plan has minimal cost" `Quick (fun () ->
+        let plans = Naive.plans ruleset ~required:D.empty two_way in
+        let best = Option.get (Naive.best_plan ruleset ~required:D.empty two_way) in
+        check "minimal" true
+          (List.for_all (fun p -> Expr.cost p >= best.Naive.cost -. 1e-9) plans));
+    Alcotest.test_case "required order is reflected in every plan" `Quick
+      (fun () ->
+        let required =
+          D.of_list [ ("tuple_order", V.Order (O.sorted_on (attr "R1" "b"))) ]
+        in
+        let plans = Naive.plans ruleset ~required two_way in
+        check "non-empty" true (plans <> []);
+        (* every plan's root must be order-producing or order-preserving:
+           cheapest check is that costs exceed the unordered optimum *)
+        let unordered = Option.get (Naive.best_plan ruleset ~required:D.empty two_way) in
+        let ordered = Option.get (Naive.best_plan ruleset ~required two_way) in
+        check "order costs more" true (ordered.Naive.cost > unordered.Naive.cost));
+    Alcotest.test_case "ordered query can use the index for free order" `Quick
+      (fun () ->
+        (* asking for order on the indexed attribute R1.a with a selection on
+           it makes Index_scan deliver the order *)
+        let pred = P.Cmp (P.Eq, P.T_attr (attr "R1" "a"), P.T_int 3) in
+        let q = Rel.ret ~pred catalog "R1" in
+        let required = D.of_list [ ("tuple_order", V.Order (O.sorted_on (attr "R1" "a"))) ] in
+        let best = Option.get (Naive.best_plan ruleset ~required q) in
+        check "index scan used" true
+          (String.equal (Expr.label best.Naive.plan) "Index_scan"));
+    Alcotest.test_case "plan_count matches plans length" `Quick (fun () ->
+        check_int "consistent"
+          (List.length (Naive.plans ruleset ~required:D.empty two_way))
+          (Naive.plan_count ruleset ~required:D.empty two_way));
+  ]
+
+let suites = [ ("naive.logical", logical_tests); ("naive.plans", plan_tests) ]

@@ -1,0 +1,122 @@
+(* Cross-cutting property tests: memo invariants under random insertions,
+   pattern match/instantiate identities. *)
+
+module Memo = Prairie_volcano.Memo
+module Expr = Prairie.Expr
+module Pattern = Prairie.Pattern
+module Binding = Prairie.Pattern.Binding
+module D = Prairie.Descriptor
+module V = Prairie_value.Value
+
+let qtest name ?(count = 200) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* random small operator trees over a fixed leaf vocabulary *)
+let gen_expr =
+  QCheck2.Gen.(
+    let leaf =
+      map
+        (fun name -> Expr.stored ~desc:(D.of_list [ ("file", V.Str name) ]) name)
+        (oneofl [ "F1"; "F2"; "F3" ])
+    in
+    let desc = map (fun i -> D.of_list [ ("k", V.Int i) ]) (0 -- 2) in
+    sized_size (0 -- 4) @@ fix (fun self n ->
+        if n = 0 then leaf
+        else
+          oneof
+            [
+              leaf;
+              map2 (fun d x -> Expr.operator "U" d [ x ]) desc (self (n - 1));
+              map3
+                (fun d x y -> Expr.operator "B" d [ x; y ])
+                desc (self (n / 2)) (self (n / 2));
+            ]))
+
+let memo_tests =
+  [
+    qtest "insert_expr is idempotent" gen_expr (fun e ->
+        let m = Memo.create () in
+        let g1 = Memo.insert_expr m e in
+        let groups = Memo.group_count m and lexprs = Memo.lexpr_count m in
+        let g2 = Memo.insert_expr m e in
+        g1 = g2 && Memo.group_count m = groups && Memo.lexpr_count m = lexprs);
+    qtest "group count equals the distinct subtree count"
+      gen_expr (fun e ->
+        (* structurally distinct (label, desc, children) subtrees, counted
+           with the same identity the memo uses *)
+        let m = Memo.create () in
+        ignore (Memo.insert_expr m e);
+        let module S = Set.Make (Expr) in
+        let rec subtrees acc e =
+          let acc = S.add e acc in
+          List.fold_left subtrees acc (Expr.inputs e)
+        in
+        Memo.group_count m = S.cardinal (subtrees S.empty e));
+    qtest "shared subtrees share groups"
+      (QCheck2.Gen.pair gen_expr gen_expr) (fun (a, b) ->
+        let m = Memo.create () in
+        let ga = Memo.insert_expr m a in
+        let gb = Memo.insert_expr m b in
+        (* equal trees land in equal groups *)
+        (not (Expr.equal a b)) || ga = gb);
+    qtest "insertion order does not change the group count"
+      (QCheck2.Gen.pair gen_expr gen_expr) (fun (a, b) ->
+        let m1 = Memo.create () in
+        ignore (Memo.insert_expr m1 a);
+        ignore (Memo.insert_expr m1 b);
+        let m2 = Memo.create () in
+        ignore (Memo.insert_expr m2 b);
+        ignore (Memo.insert_expr m2 a);
+        Memo.group_count m1 = Memo.group_count m2
+        && Memo.lexpr_count m1 = Memo.lexpr_count m2);
+  ]
+
+(* a pattern mirroring a tree's top shape, with fresh descriptor vars *)
+let shape_pattern e =
+  match e with
+  | Expr.Node (Expr.Operator, name, _, inputs) ->
+    Some
+      ( Pattern.Pop
+          (name, "DT", List.mapi (fun i _ -> Pattern.Pvar (i + 1)) inputs),
+        Pattern.Tnode
+          (name, "DT", List.mapi (fun i _ -> Pattern.Tvar (i + 1, None)) inputs)
+      )
+  | Expr.Node (Expr.Algorithm, _, _, _) | Expr.Stored _ -> None
+
+let pattern_tests =
+  [
+    qtest "match then instantiate is the identity" gen_expr (fun e ->
+        match shape_pattern e with
+        | None -> true (* leaves trivially hold *)
+        | Some (pat, tmpl) -> (
+          match Pattern.matches pat e with
+          | None -> false (* a mirrored pattern must match *)
+          | Some b ->
+            Expr.equal e (Pattern.instantiate ~kind:Expr.Operator tmpl b)));
+    qtest "matching binds every pattern descriptor variable" gen_expr (fun e ->
+        match shape_pattern e with
+        | None -> true
+        | Some (pat, _) -> (
+          match Pattern.matches pat e with
+          | None -> false
+          | Some b ->
+            List.for_all
+              (fun d -> Binding.desc_opt b d <> None)
+              (Pattern.desc_vars pat)));
+    qtest "stream descriptors equal the subtree descriptors" gen_expr (fun e ->
+        match shape_pattern e with
+        | None -> true
+        | Some (pat, _) -> (
+          match Pattern.matches pat e with
+          | None -> false
+          | Some b ->
+            List.for_all
+              (fun i ->
+                D.equal
+                  (Binding.desc b (Pattern.stream_desc_name i))
+                  (Expr.descriptor (Binding.stream b i)))
+              (Pattern.vars pat)));
+  ]
+
+let suites =
+  [ ("properties.memo", memo_tests); ("properties.pattern", pattern_tests) ]

@@ -1,0 +1,179 @@
+(* Static validation of T-rules, I-rules and rule sets. *)
+
+module Pattern = Prairie.Pattern
+module Action = Prairie.Action
+module Trule = Prairie.Trule
+module Irule = Prairie.Irule
+module Ruleset = Prairie.Ruleset
+module V = Prairie_value.Value
+
+let check = Alcotest.(check bool)
+let is_error = function Error _ -> true | Ok () -> false
+let v i = Pattern.Pvar i
+let pop n d subs = Pattern.Pop (n, d, subs)
+let tv i = Pattern.Tvar (i, None)
+let tn n d subs = Pattern.Tnode (n, d, subs)
+
+let trule_tests =
+  [
+    Alcotest.test_case "valid rule passes" `Quick (fun () ->
+        let r =
+          Trule.make ~name:"ok"
+            ~lhs:(pop "J" "D3" [ v 1; v 2 ])
+            ~rhs:(tn "J" "D4" [ tv 2; tv 1 ])
+            ~post_test:[ Action.Assign_desc ("D4", Action.Desc "D3") ]
+            ()
+        in
+        check "ok" true (Trule.validate r = Ok ()));
+    Alcotest.test_case "RHS variable unbound by LHS" `Quick (fun () ->
+        let r =
+          Trule.make ~name:"bad"
+            ~lhs:(pop "J" "D3" [ v 1 ])
+            ~rhs:(tn "J" "D4" [ tv 7 ])
+            ()
+        in
+        check "error" true (is_error (Trule.validate r)));
+    Alcotest.test_case "assignment to an LHS descriptor rejected" `Quick
+      (fun () ->
+        let r =
+          Trule.make ~name:"bad"
+            ~lhs:(pop "J" "D3" [ v 1 ])
+            ~rhs:(tn "J" "D4" [ tv 1 ])
+            ~post_test:[ Action.Assign_prop ("D3", "n", Action.int 1) ]
+            ()
+        in
+        check "error" true (is_error (Trule.validate r)));
+    Alcotest.test_case "read of an undefined descriptor rejected" `Quick
+      (fun () ->
+        let r =
+          Trule.make ~name:"bad"
+            ~lhs:(pop "J" "D3" [ v 1 ])
+            ~rhs:(tn "J" "D4" [ tv 1 ])
+            ~post_test:[ Action.Assign_prop ("D4", "n", Action.prop "D9" "n") ]
+            ()
+        in
+        check "error" true (is_error (Trule.validate r)));
+    Alcotest.test_case "input/output descriptor classification" `Quick (fun () ->
+        let r =
+          Trule.make ~name:"r"
+            ~lhs:(pop "J" "D3" [ v 1; v 2 ])
+            ~rhs:(tn "J" "D4" [ tv 1; tv 2 ])
+            ()
+        in
+        Alcotest.(check (list string))
+          "inputs" [ "D1"; "D2"; "D3" ] (Trule.input_descriptors r);
+        Alcotest.(check (list string)) "outputs" [ "D4" ] (Trule.output_descriptors r));
+  ]
+
+let irule_tests =
+  [
+    Alcotest.test_case "accessors" `Quick (fun () ->
+        let r =
+          Irule.make ~name:"r"
+            ~lhs:(pop "JOIN" "D3" [ v 1; v 2 ])
+            ~rhs:(tn "NL" "D5" [ Pattern.Tvar (1, Some "D4"); tv 2 ])
+            ()
+        in
+        Alcotest.(check string) "op" "JOIN" (Irule.operator r);
+        Alcotest.(check string) "alg" "NL" (Irule.algorithm r);
+        Alcotest.(check string) "op desc" "D3" (Irule.operator_descriptor r);
+        Alcotest.(check string) "alg desc" "D5" (Irule.algorithm_descriptor r);
+        check "redescs" true (Irule.redescriptored_inputs r = [ (1, "D4") ]);
+        check "not null" false (Irule.is_null_rule r));
+    Alcotest.test_case "null detection" `Quick (fun () ->
+        let r =
+          Irule.make ~name:"n"
+            ~lhs:(pop "SORT" "D2" [ v 1 ])
+            ~rhs:(tn Irule.null_algorithm "D4" [ Pattern.Tvar (1, Some "D3") ])
+            ()
+        in
+        check "null rule" true (Irule.is_null_rule r));
+    Alcotest.test_case "LHS must be an operator over variables" `Quick (fun () ->
+        let nested =
+          Irule.make ~name:"bad"
+            ~lhs:(pop "A" "D" [ pop "B" "D2" [ v 1 ] ])
+            ~rhs:(tn "X" "D3" [ tv 1 ])
+            ()
+        in
+        check "nested rejected" true (is_error (Irule.validate nested)));
+    Alcotest.test_case "RHS must use the same variables in order" `Quick
+      (fun () ->
+        let swapped =
+          Irule.make ~name:"bad"
+            ~lhs:(pop "J" "D3" [ v 1; v 2 ])
+            ~rhs:(tn "X" "D4" [ tv 2; tv 1 ])
+            ()
+        in
+        check "swapped rejected" true (is_error (Irule.validate swapped)));
+    Alcotest.test_case "duplicate variables rejected" `Quick (fun () ->
+        let dup =
+          Irule.make ~name:"bad"
+            ~lhs:(pop "J" "D3" [ v 1; v 1 ])
+            ~rhs:(tn "X" "D4" [ tv 1; tv 1 ])
+            ()
+        in
+        check "dup rejected" true (is_error (Irule.validate dup)));
+  ]
+
+let ruleset_tests =
+  [
+    Alcotest.test_case "operators and algorithms are inferred" `Quick (fun () ->
+        let ir =
+          Irule.make ~name:"i"
+            ~lhs:(pop "RET" "D2" [ v 1 ])
+            ~rhs:(tn "Scan" "D3" [ tv 1 ])
+            ()
+        in
+        let rs = Ruleset.make ~irules:[ ir ] "t" in
+        check "op" true (List.mem "RET" rs.Ruleset.operators);
+        check "alg" true (List.mem "Scan" rs.Ruleset.algorithms));
+    Alcotest.test_case "unimplementable operator flagged" `Quick (fun () ->
+        let tr =
+          Trule.make ~name:"t"
+            ~lhs:(pop "A" "D1" [ v 1 ])
+            ~rhs:(tn "B" "D2" [ tv 1 ])
+            ~post_test:[ Action.Assign_desc ("D2", Action.Desc "D1") ]
+            ()
+        in
+        let rs = Ruleset.make ~trules:[ tr ] "t" in
+        check "errors" true (match Ruleset.validate rs with Error _ -> true | Ok () -> false));
+    Alcotest.test_case "unregistered helper flagged" `Quick (fun () ->
+        let ir =
+          Irule.make ~name:"i"
+            ~lhs:(pop "RET" "D2" [ v 1 ])
+            ~rhs:(tn "Scan" "D3" [ tv 1 ])
+            ~post_opt:[ Action.Assign_prop ("D3", "cost", Action.call "mystery" []) ]
+            ()
+        in
+        let rs = Ruleset.make ~irules:[ ir ] "t" in
+        check "errors" true (match Ruleset.validate rs with Error _ -> true | Ok () -> false));
+    Alcotest.test_case "irules_for filters by operator" `Quick (fun () ->
+        let mk op name =
+          Irule.make ~name
+            ~lhs:(pop op "D2" [ v 1 ])
+            ~rhs:(tn ("A" ^ name) "D3" [ tv 1 ])
+            ()
+        in
+        let rs = Ruleset.make ~irules:[ mk "RET" "a"; mk "RET" "b"; mk "SEL" "c" ] "t" in
+        Alcotest.(check int) "two" 2 (List.length (Ruleset.irules_for rs "RET")));
+    Alcotest.test_case "shipped rule sets validate" `Quick (fun () ->
+        let cat =
+          Prairie_catalog.Catalog.of_files
+            [ Prairie_algebra.Relational.relation ~name:"R" ~cardinality:10 [ ("a", 5) ] ]
+        in
+        check "relational" true
+          (Ruleset.validate (Prairie_algebra.Relational.ruleset cat) = Ok ());
+        check "oodb" true (Ruleset.validate (Prairie_algebra.Oodb.ruleset cat) = Ok ()));
+    Alcotest.test_case "paper rule counts" `Quick (fun () ->
+        let cat = Prairie_catalog.Catalog.empty in
+        let oodb = Prairie_algebra.Oodb.ruleset cat in
+        Alcotest.(check int) "22 T-rules" 22 (Ruleset.trule_count oodb);
+        Alcotest.(check int) "11 I-rules" 11 (Ruleset.irule_count oodb));
+  ]
+
+let suites =
+  [
+    ("rules.trule", trule_tests);
+    ("rules.irule", irule_tests);
+    ("rules.ruleset", ruleset_tests);
+  ]

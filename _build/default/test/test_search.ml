@@ -1,0 +1,153 @@
+(* The Volcano search engine, checked against the naive oracle. *)
+
+module Search = Prairie_volcano.Search
+module Plan = Prairie_volcano.Plan
+module Stats = Prairie_volcano.Stats
+module Naive = Prairie.Naive
+module Expr = Prairie.Expr
+module D = Prairie.Descriptor
+module V = Prairie_value.Value
+module O = Prairie_value.Order
+module P = Prairie_value.Predicate
+module A = Prairie_value.Attribute
+module Rel = Prairie_algebra.Relational
+module Catalog = Prairie_catalog.Catalog
+module Rng = Prairie_util.Rng
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-6))
+let attr o n = A.make ~owner:o ~name:n
+let eq a b = P.Cmp (P.Eq, P.T_attr a, P.T_attr b)
+
+(* random small relational catalog + 2-way query *)
+let random_setup seed =
+  let rng = Rng.create seed in
+  let card () = Rng.in_range rng 10 2000 in
+  let idx = Rng.bool rng in
+  let catalog =
+    Catalog.of_files
+      [
+        Rel.relation ~name:"R1" ~cardinality:(card ())
+          ~indexes:(if idx then [ "a" ] else [])
+          [ ("a", Rng.in_range rng 2 200); ("b", 50) ];
+        Rel.relation ~name:"R2" ~cardinality:(card ()) [ ("a", 100); ("c", 20) ];
+      ]
+  in
+  let pred = eq (attr "R1" "a") (attr "R2" "a") in
+  let sel =
+    if Rng.bool rng then P.Cmp (P.Eq, P.T_attr (attr "R1" "a"), P.T_int 1)
+    else P.True
+  in
+  let q =
+    Rel.join catalog ~pred (Rel.ret ~pred:sel catalog "R1") (Rel.ret catalog "R2")
+  in
+  (catalog, q)
+
+let volcano_of catalog =
+  (Prairie_p2v.Translate.translate (Rel.ruleset catalog)).Prairie_p2v.Translate.volcano
+
+let optimize ?pruning ?(required = D.empty) catalog q =
+  let ctx = Search.create ?pruning (volcano_of catalog) in
+  (Search.optimize ~required ctx q, ctx)
+
+let basic_tests =
+  [
+    Alcotest.test_case "finds a plan for a two-way join" `Quick (fun () ->
+        let catalog, q = random_setup 1 in
+        let plan, _ = optimize catalog q in
+        check "some plan" true (plan <> None));
+    Alcotest.test_case "memo hits on re-optimization" `Quick (fun () ->
+        let catalog, q = random_setup 2 in
+        let ctx = Search.create (volcano_of catalog) in
+        ignore (Search.optimize ctx q);
+        let hits_before = (Search.stats ctx).Stats.memo_hits in
+        ignore (Search.optimize ctx q);
+        check "more hits" true ((Search.stats ctx).Stats.memo_hits > hits_before));
+    Alcotest.test_case "unsatisfiable requirement yields no plan" `Quick
+      (fun () ->
+        let catalog, q = random_setup 3 in
+        (* requiring an order that no enforcer property covers: use a bogus
+           physical property name via a descriptor the rule set does not
+           know -- restrict_physical drops it, so instead require an order
+           on an attribute; this IS satisfiable via Merge_sort, so check
+           the opposite: it finds a (more expensive) plan. *)
+        let required =
+          D.of_list [ ("tuple_order", V.Order (O.sorted_on (attr "R1" "b"))) ]
+        in
+        let plan, _ = optimize ~required catalog q in
+        check "satisfiable via enforcer" true (plan <> None));
+    Alcotest.test_case "plan cost equals its descriptor cost" `Quick (fun () ->
+        let catalog, q = random_setup 4 in
+        match fst (optimize catalog q) with
+        | Some p -> checkf "cost" (Plan.cost p) (D.cost (Plan.descriptor p))
+        | None -> Alcotest.fail "no plan");
+    Alcotest.test_case "group count grows with join count" `Quick (fun () ->
+        let catalog =
+          Catalog.of_files
+            [
+              Rel.relation ~name:"R1" ~cardinality:100 [ ("a", 10) ];
+              Rel.relation ~name:"R2" ~cardinality:100 [ ("a", 10); ("b", 10) ];
+              Rel.relation ~name:"R3" ~cardinality:100 [ ("b", 10) ];
+            ]
+        in
+        let q2 =
+          Rel.join catalog ~pred:(eq (attr "R1" "a") (attr "R2" "a"))
+            (Rel.ret catalog "R1") (Rel.ret catalog "R2")
+        in
+        let q3 =
+          Rel.join catalog ~pred:(eq (attr "R2" "b") (attr "R3" "b")) q2
+            (Rel.ret catalog "R3")
+        in
+        let _, ctx2 = optimize catalog q2 in
+        let _, ctx3 = optimize catalog q3 in
+        check "monotone" true (Search.group_count ctx3 > Search.group_count ctx2));
+  ]
+
+(* The central soundness property: Volcano's best equals the exhaustive
+   oracle's best.  Volcano plans have no Null nodes (enforcer-operators are
+   implicit), so costs are compared, not shapes. *)
+let oracle_agreement seed =
+  let catalog, q = random_setup seed in
+  let ruleset = Rel.ruleset catalog in
+  let naive = Naive.best_plan ruleset ~required:D.empty q in
+  let volcano, _ = optimize catalog q in
+  match (naive, volcano) with
+  | Some n, Some p -> Float.abs (n.Naive.cost -. Plan.cost p) < 1e-6
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+
+let oracle_agreement_ordered seed =
+  let catalog, q = random_setup seed in
+  let ruleset = Rel.ruleset catalog in
+  let required =
+    D.of_list [ ("tuple_order", V.Order (O.sorted_on (attr "R1" "b"))) ]
+  in
+  let naive = Naive.best_plan ruleset ~required q in
+  let volcano, _ = optimize ~required catalog q in
+  match (naive, volcano) with
+  | Some n, Some p -> Float.abs (n.Naive.cost -. Plan.cost p) < 1e-6
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+
+let pruning_equivalence seed =
+  let catalog, q = random_setup seed in
+  let with_p, _ = optimize ~pruning:true catalog q in
+  let without_p, _ = optimize ~pruning:false catalog q in
+  match (with_p, without_p) with
+  | Some a, Some b -> Float.abs (Plan.cost a -. Plan.cost b) < 1e-9
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+
+let qtest name prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:40 QCheck2.Gen.(0 -- 10_000) prop)
+
+let property_tests =
+  [
+    qtest "volcano cost equals the exhaustive oracle" oracle_agreement;
+    qtest "volcano cost equals the oracle under a required order"
+      oracle_agreement_ordered;
+    qtest "branch-and-bound pruning never changes the answer" pruning_equivalence;
+  ]
+
+let suites = [ ("search.basic", basic_tests); ("search.oracle", property_tests) ]

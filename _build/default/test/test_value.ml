@@ -1,0 +1,216 @@
+(* Units and properties for the value domain: attributes, orders,
+   predicates, universal values. *)
+
+module A = Prairie_value.Attribute
+module O = Prairie_value.Order
+module P = Prairie_value.Predicate
+module V = Prairie_value.Value
+
+let attr o n = A.make ~owner:o ~name:n
+let a1 = attr "R" "a"
+let a2 = attr "R" "b"
+let a3 = attr "S" "a"
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------- generators ------------------------- *)
+
+let gen_attr =
+  QCheck2.Gen.(
+    let* o = oneofl [ "R"; "S"; "T" ] in
+    let* n = oneofl [ "a"; "b"; "c"; "d" ] in
+    return (A.make ~owner:o ~name:n))
+
+let gen_order =
+  QCheck2.Gen.(
+    oneof [ return O.Any; map (fun l -> O.sorted l) (list_size (1 -- 3) gen_attr) ])
+
+let gen_term =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun a -> P.T_attr a) gen_attr;
+        map (fun i -> P.T_int i) (0 -- 20);
+        map (fun s -> P.T_string s) (oneofl [ "x"; "y" ]);
+      ])
+
+let gen_cmp = QCheck2.Gen.oneofl [ P.Eq; P.Ne; P.Lt; P.Le; P.Gt; P.Ge ]
+
+let gen_pred =
+  QCheck2.Gen.(
+    sized_size (0 -- 3) @@ fix (fun self n ->
+        if n = 0 then
+          oneof
+            [
+              return P.True;
+              return P.False;
+              map3 (fun c t1 t2 -> P.Cmp (c, t1, t2)) gen_cmp gen_term gen_term;
+            ]
+        else
+          oneof
+            [
+              map3 (fun c t1 t2 -> P.Cmp (c, t1, t2)) gen_cmp gen_term gen_term;
+              map2 (fun a b -> P.And (a, b)) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> P.Or (a, b)) (self (n / 2)) (self (n / 2));
+              map (fun a -> P.Not a) (self (n - 1));
+            ]))
+
+let qtest name gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:200 gen prop)
+
+(* ------------------------- attribute ------------------------- *)
+
+let attribute_tests =
+  [
+    Alcotest.test_case "to_string qualifies" `Quick (fun () ->
+        check_str "qualified" "R.a" (A.to_string a1);
+        check_str "unqualified" "x" (A.to_string (attr "" "x")));
+    Alcotest.test_case "of_string round trip" `Quick (fun () ->
+        check "roundtrip" true (A.equal a1 (A.of_string "R.a"));
+        check "bare" true (A.equal (attr "" "z") (A.of_string "z")));
+    Alcotest.test_case "compare orders by owner then name" `Quick (fun () ->
+        check "lt" true (A.compare a1 a3 < 0);
+        check "name" true (A.compare a1 a2 < 0));
+    qtest "of_string/to_string inverse" gen_attr (fun a ->
+        A.equal a (A.of_string (A.to_string a)));
+    qtest "equal iff compare = 0" (QCheck2.Gen.pair gen_attr gen_attr)
+      (fun (x, y) -> A.equal x y = (A.compare x y = 0));
+  ]
+
+(* ------------------------- order ------------------------- *)
+
+let order_tests =
+  [
+    Alcotest.test_case "sorted [] collapses to Any" `Quick (fun () ->
+        check "any" true (O.is_any (O.sorted [])));
+    Alcotest.test_case "satisfies: any is always satisfied" `Quick (fun () ->
+        check "any/any" true (O.satisfies ~required:O.Any ~actual:O.Any);
+        check "any/sorted" true
+          (O.satisfies ~required:O.Any ~actual:(O.sorted_on a1)));
+    Alcotest.test_case "satisfies: prefix rule" `Quick (fun () ->
+        check "exact" true
+          (O.satisfies ~required:(O.sorted_on a1) ~actual:(O.sorted_on a1));
+        check "longer actual ok" true
+          (O.satisfies ~required:(O.sorted_on a1) ~actual:(O.sorted [ a1; a2 ]));
+        check "shorter actual not ok" false
+          (O.satisfies ~required:(O.sorted [ a1; a2 ]) ~actual:(O.sorted_on a1));
+        check "different attr" false
+          (O.satisfies ~required:(O.sorted_on a1) ~actual:(O.sorted_on a2));
+        check "sorted vs any" false
+          (O.satisfies ~required:(O.sorted_on a1) ~actual:O.Any));
+    qtest "satisfies is reflexive" gen_order (fun o ->
+        O.satisfies ~required:o ~actual:o);
+    qtest "satisfies is transitive on generated orders"
+      (QCheck2.Gen.triple gen_order gen_order gen_order) (fun (x, y, z) ->
+        (not (O.satisfies ~required:x ~actual:y && O.satisfies ~required:y ~actual:z))
+        || O.satisfies ~required:x ~actual:z);
+    qtest "equal iff compare = 0" (QCheck2.Gen.pair gen_order gen_order)
+      (fun (x, y) -> O.equal x y = (O.compare x y = 0));
+  ]
+
+(* ------------------------- predicate ------------------------- *)
+
+let eq_attr x y = P.Cmp (P.Eq, P.T_attr x, P.T_attr y)
+let eq_const x k = P.Cmp (P.Eq, P.T_attr x, P.T_int k)
+
+let predicate_tests =
+  [
+    Alcotest.test_case "conjuncts flattens" `Quick (fun () ->
+        let p = P.And (P.And (eq_const a1 1, eq_const a2 2), eq_const a3 3) in
+        check_int "three" 3 (List.length (P.conjuncts p));
+        check_int "true is empty" 0 (List.length (P.conjuncts P.True)));
+    Alcotest.test_case "conj simplifies true/false" `Quick (fun () ->
+        check "true unit" true (P.equal (P.conj P.True (eq_const a1 1)) (eq_const a1 1));
+        check "false zero" true (P.equal (P.conj (eq_const a1 1) P.False) P.False));
+    Alcotest.test_case "owners" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "sorted owners" [ "R"; "S" ]
+          (P.owners (eq_attr a1 a3)));
+    Alcotest.test_case "split by owners" `Quick (fun () ->
+        let p = P.And (eq_const a1 1, eq_const a3 2) in
+        let mine, rest = P.split ~owners:[ "R" ] p in
+        check "mine" true (P.equal mine (eq_const a1 1));
+        check "rest" true (P.equal rest (eq_const a3 2)));
+    Alcotest.test_case "is_equijoin" `Quick (fun () ->
+        check "equijoin" true (P.is_equijoin (eq_attr a1 a3));
+        check "same owner" false (P.is_equijoin (eq_attr a1 a2));
+        check "constant" false (P.is_equijoin (eq_const a1 1));
+        check "true" false (P.is_equijoin P.True));
+    Alcotest.test_case "equality_constants finds both orientations" `Quick
+      (fun () ->
+        let p = P.And (eq_const a1 7, P.Cmp (P.Eq, P.T_int 9, P.T_attr a2)) in
+        check_int "two" 2 (List.length (P.equality_constants p)));
+    Alcotest.test_case "eval basics" `Quick (fun () ->
+        let lookup a = if A.equal a a1 then Some (P.T_int 5) else None in
+        check "eq" true (P.eval ~lookup (eq_const a1 5));
+        check "ne" false (P.eval ~lookup (eq_const a1 6));
+        check "unknown attr false" false (P.eval ~lookup (eq_const a2 1));
+        check "not" true (P.eval ~lookup (P.Not (eq_const a1 6)));
+        check "mixed int float" true
+          (P.eval ~lookup (P.Cmp (P.Lt, P.T_attr a1, P.T_float 5.5))));
+    qtest "of_conjuncts inverts conjuncts" gen_pred (fun p ->
+        let q = P.of_conjuncts (P.conjuncts p) in
+        (* evaluating both under an arbitrary environment must agree *)
+        let lookup a =
+          Some (P.T_int (Hashtbl.hash (A.to_string a) mod 5))
+        in
+        P.eval ~lookup p = P.eval ~lookup q
+        || P.conjuncts p <> P.conjuncts q (* non-conjunctive shapes *));
+    qtest "split preserves semantics (mine AND rest = p)"
+      gen_pred (fun p ->
+        let mine, rest = P.split ~owners:[ "R" ] p in
+        let lookup a = Some (P.T_int (Hashtbl.hash (A.to_string a) mod 5)) in
+        P.eval ~lookup (P.conj mine rest) = P.eval ~lookup p);
+  ]
+
+(* ------------------------- value ------------------------- *)
+
+let value_tests =
+  [
+    Alcotest.test_case "numeric promotion" `Quick (fun () ->
+        check "int add" true (V.equal (V.add (V.Int 2) (V.Int 3)) (V.Int 5));
+        check "mixed add" true
+          (V.equal (V.add (V.Int 2) (V.Float 0.5)) (V.Float 2.5));
+        check "int div stays exact" true
+          (V.equal (V.div (V.Int 6) (V.Int 3)) (V.Int 2));
+        check "int div inexact goes float" true
+          (V.equal (V.div (V.Int 7) (V.Int 2)) (V.Float 3.5)));
+    Alcotest.test_case "string concat via add" `Quick (fun () ->
+        check "concat" true (V.equal (V.add (V.Str "a") (V.Str "b")) (V.Str "ab")));
+    Alcotest.test_case "attrs union via add" `Quick (fun () ->
+        match V.add (V.Attrs [ a1; a2 ]) (V.Attrs [ a2; a3 ]) with
+        | V.Attrs l -> check_int "three" 3 (List.length l)
+        | _ -> Alcotest.fail "expected attrs");
+    Alcotest.test_case "type errors raised" `Quick (fun () ->
+        Alcotest.check_raises "bool add"
+          (V.Type_error "add: true")
+          (fun () -> ignore (V.add (V.Bool true) (V.Int 1)));
+        Alcotest.check_raises "truthy int"
+          (V.Type_error "test must be boolean: 1")
+          (fun () -> ignore (V.truthy (V.Int 1))));
+    Alcotest.test_case "null coercion defaults" `Quick (fun () ->
+        check "order" true (O.is_any (V.to_order V.Null));
+        check "pred" true (P.equal (V.to_pred V.Null) P.True);
+        check_int "attrs" 0 (List.length (V.to_attrs V.Null)));
+    Alcotest.test_case "cmp" `Quick (fun () ->
+        check "lt" true (V.cmp P.Lt (V.Int 1) (V.Float 1.5));
+        check "eq deep" true (V.cmp P.Eq (V.Attrs [ a1 ]) (V.Attrs [ a1 ]));
+        check "ne" true (V.cmp P.Ne (V.Str "x") (V.Str "y")));
+    Alcotest.test_case "ty parsing" `Quick (fun () ->
+        check "cost" true (V.ty_of_string "COST" = Some V.T_cost);
+        check "case insensitive" true (V.ty_of_string "order" = Some V.T_order);
+        check "unknown" true (V.ty_of_string "BLOB" = None));
+    Alcotest.test_case "has_ty" `Quick (fun () ->
+        check "int float for cost" true (V.has_ty (V.Float 1.0) V.T_cost);
+        check "int is float-compatible" true (V.has_ty (V.Int 1) V.T_float);
+        check "null any" true (V.has_ty V.Null V.T_pred);
+        check "mismatch" false (V.has_ty (V.Str "x") V.T_int));
+  ]
+
+let suites =
+  [
+    ("value.attribute", attribute_tests);
+    ("value.order", order_tests);
+    ("value.predicate", predicate_tests);
+    ("value.value", value_tests);
+  ]

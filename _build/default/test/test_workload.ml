@@ -1,0 +1,103 @@
+(* The paper's workload: catalogs, E1-E4, Q1-Q8. *)
+
+module W = Prairie_workload
+module Expr = Prairie.Expr
+module Catalog = Prairie_catalog.Catalog
+module SF = Prairie_catalog.Stored_file
+module P = Prairie_value.Predicate
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let catalog_tests =
+  [
+    Alcotest.test_case "catalog holds base and detail classes" `Quick (fun () ->
+        let cat = W.Catalogs.make (W.Catalogs.default_spec ~classes:3 ~indexed:true ~seed:1) in
+        check_int "six files" 6 (List.length (Catalog.files cat));
+        check "C2 exists" true (Catalog.mem cat "C2");
+        check "DC3 exists" true (Catalog.mem cat "DC3"));
+    Alcotest.test_case "index presence follows the spec" `Quick (fun () ->
+        let idx = W.Catalogs.make (W.Catalogs.default_spec ~classes:2 ~indexed:true ~seed:1) in
+        let no = W.Catalogs.make (W.Catalogs.default_spec ~classes:2 ~indexed:false ~seed:1) in
+        check "indexed" true (Catalog.has_index_on idx (W.Catalogs.b_attr 1));
+        check "not indexed" false (Catalog.has_index_on no (W.Catalogs.b_attr 1)));
+    Alcotest.test_case "same seed, same cardinalities" `Quick (fun () ->
+        let c1 = W.Catalogs.make (W.Catalogs.default_spec ~classes:2 ~indexed:false ~seed:5) in
+        let c2 = W.Catalogs.make (W.Catalogs.default_spec ~classes:2 ~indexed:true ~seed:5) in
+        check_int "equal card"
+          (Catalog.find_exn c1 "C1").SF.cardinality
+          (Catalog.find_exn c2 "C1").SF.cardinality);
+    Alcotest.test_case "reference attributes chain the classes" `Quick (fun () ->
+        let cat = W.Catalogs.make (W.Catalogs.default_spec ~classes:3 ~indexed:false ~seed:2) in
+        check "rC1 -> C2" true (Catalog.ref_target cat (W.Catalogs.ref_attr 1) = Some "C2");
+        check "dC2 -> DC2" true (Catalog.ref_target cat (W.Catalogs.detail_ref 2) = Some "DC2"));
+    Alcotest.test_case "join predicates are reference equalities" `Quick
+      (fun () ->
+        check "equijoin" true (P.is_equijoin (W.Catalogs.join_pred 1)));
+    Alcotest.test_case "selection predicate has one conjunct per class" `Quick
+      (fun () ->
+        check_int "four" 4
+          (List.length (P.conjuncts (W.Catalogs.selection_pred ~classes:4))));
+  ]
+
+let expression_tests =
+  [
+    Alcotest.test_case "E1 shape" `Quick (fun () ->
+        let cat = W.Catalogs.make (W.Catalogs.default_spec ~classes:3 ~indexed:false ~seed:3) in
+        let e = W.Expressions.e1 cat ~joins:2 in
+        Alcotest.(check string)
+          "shape" "JOIN(JOIN(RET(C1), RET(C2)), RET(C3))" (Expr.to_string e);
+        check "initialized" true (Prairie.Descriptor.mem (Expr.descriptor e) "num_records"));
+    Alcotest.test_case "E2 materializes every class" `Quick (fun () ->
+        let cat = W.Catalogs.make (W.Catalogs.default_spec ~classes:2 ~indexed:false ~seed:3) in
+        let e = W.Expressions.e2 cat ~joins:1 in
+        Alcotest.(check string)
+          "shape" "JOIN(MAT(RET(C1)), MAT(RET(C2)))" (Expr.to_string e));
+    Alcotest.test_case "E3 and E4 add the root SELECT" `Quick (fun () ->
+        let cat = W.Catalogs.make (W.Catalogs.default_spec ~classes:2 ~indexed:false ~seed:3) in
+        Alcotest.(check string)
+          "E3" "SELECT" (Expr.label (W.Expressions.e3 cat ~joins:1));
+        Alcotest.(check string)
+          "E4" "SELECT" (Expr.label (W.Expressions.e4 cat ~joins:1)));
+    Alcotest.test_case "operator trees are well-formed" `Quick (fun () ->
+        let cat = W.Catalogs.make (W.Catalogs.default_spec ~classes:4 ~indexed:true ~seed:4) in
+        List.iter
+          (fun fam ->
+            check "operator tree" true
+              (Expr.is_operator_tree (W.Expressions.build fam cat ~joins:3)))
+          W.Expressions.all_families);
+  ]
+
+let query_tests =
+  [
+    Alcotest.test_case "Table 5 mapping" `Quick (fun () ->
+        check "Q1" true (W.Queries.family W.Queries.Q1 = W.Expressions.E1 && not (W.Queries.indexed W.Queries.Q1));
+        check "Q2" true (W.Queries.family W.Queries.Q2 = W.Expressions.E1 && W.Queries.indexed W.Queries.Q2);
+        check "Q7" true (W.Queries.family W.Queries.Q7 = W.Expressions.E4 && not (W.Queries.indexed W.Queries.Q7));
+        check "Q8" true (W.Queries.family W.Queries.Q8 = W.Expressions.E4 && W.Queries.indexed W.Queries.Q8));
+    Alcotest.test_case "of_int" `Quick (fun () ->
+        check "1" true (W.Queries.of_int 1 = Some W.Queries.Q1);
+        check "8" true (W.Queries.of_int 8 = Some W.Queries.Q8);
+        check "9" true (W.Queries.of_int 9 = None));
+    Alcotest.test_case "instances vary by seed" `Quick (fun () ->
+        let is = W.Queries.instances W.Queries.Q1 ~joins:2 ~seeds:[ 1; 2; 3 ] in
+        check_int "three" 3 (List.length is);
+        let cards =
+          List.map
+            (fun (i : W.Queries.instance) ->
+              (Catalog.find_exn i.W.Queries.catalog "C1").SF.cardinality)
+            is
+        in
+        check "not all equal" true (List.sort_uniq compare cards <> [ List.hd cards ] || List.length (List.sort_uniq compare cards) > 1));
+    Alcotest.test_case "instance expression uses the right class count" `Quick
+      (fun () ->
+        let i = W.Queries.instance W.Queries.Q1 ~joins:3 ~seed:1 in
+        check_int "four classes" 4 (List.length (Expr.stored_files i.W.Queries.expr)));
+  ]
+
+let suites =
+  [
+    ("workload.catalogs", catalog_tests);
+    ("workload.expressions", expression_tests);
+    ("workload.queries", query_tests);
+  ]
