@@ -5,6 +5,7 @@
      report   run the P2V pre-processor and print the translation report
      render   export an embedded rule set as .prairie source
      optimize run a workload query through a rule set
+     serve    batch-optimize a query mix on the parallel plan service
      sql      compile a SQL-like query, optimize and optionally execute *)
 
 open Cmdliner
@@ -206,6 +207,110 @@ let optimize_cmd =
         (const run $ query_arg $ joins_arg $ seed_arg $ ruleset_arg
        $ strategy_arg $ verbose_arg))
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the plan service (0 = one per available \
+             core).")
+  in
+  let cache_size_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-size"; "k" ] ~docv:"K"
+          ~doc:"Plan-cache capacity (LRU entries).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "requests"; "n" ] ~docv:"N"
+          ~doc:"Batch size: the workload query mix is cycled to N requests.")
+  in
+  let joins_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "joins" ] ~docv:"N" ~doc:"Maximum joins per generated query.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Catalog seed.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "group-budget" ] ~docv:"B"
+          ~doc:
+            "Per-request memo budget: over-large queries degrade gracefully \
+             instead of stalling a worker.")
+  in
+  let run jobs cache_size requests max_joins seed group_budget verbose =
+    setup_verbose verbose;
+    if max_joins < 1 then `Error (false, "--joins must be at least 1")
+    else if requests < 0 then `Error (false, "--requests must be non-negative")
+    else begin
+    let jobs = if jobs <= 0 then Prairie_service.Pool.default_jobs () else jobs in
+    let catalog =
+      W.Catalogs.make
+        (W.Catalogs.default_spec ~classes:(max_joins + 1) ~indexed:true ~seed)
+    in
+    let opt = Opt.oodb_prairie catalog in
+    let distinct =
+      List.concat_map
+        (fun family ->
+          List.map
+            (fun joins -> Opt.request (W.Expressions.build family catalog ~joins))
+            (List.init max_joins (fun i -> i + 1)))
+        W.Expressions.all_families
+    in
+    let batch =
+      List.init requests (fun i -> List.nth distinct (i mod List.length distinct))
+    in
+    let cache = Opt.Plan_cache.create ~capacity:cache_size () in
+    let timed f =
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      (v, (Unix.gettimeofday () -. t0) *. 1000.0)
+    in
+    Printf.printf "plan service: %d requests (%d distinct), %d jobs, cache %d\n"
+      (List.length batch) (List.length distinct) jobs cache_size;
+    let cold, t_cold =
+      timed (fun () -> Opt.serve ?group_budget ~jobs ~cache opt batch)
+    in
+    let warm, t_warm =
+      timed (fun () -> Opt.serve ?group_budget ~jobs ~cache opt batch)
+    in
+    let summarize label served t =
+      let hits = List.length (List.filter (fun s -> s.Opt.cache_hit) served) in
+      let degraded = List.length (List.filter (fun s -> s.Opt.budget_hit) served) in
+      let no_plan = List.length (List.filter (fun s -> s.Opt.plan = None) served) in
+      Printf.printf
+        "  %-5s %8.1f ms  %5.1f req/s  %d served without a fresh search, %d \
+         degraded, %d without a plan\n"
+        label t
+        (float_of_int (List.length served) /. (Float.max 1e-6 t /. 1000.0))
+        hits degraded no_plan
+    in
+    summarize "cold" cold t_cold;
+    summarize "warm" warm t_warm;
+    Format.printf "  cache: %a@." Opt.Plan_cache.pp_stats cache;
+    `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the parallel plan service on a batch of workload queries: a \
+          domain pool of searches sharing a fingerprint-keyed LRU plan \
+          cache.")
+    Term.(
+      ret
+        (const run $ jobs_arg $ cache_size_arg $ requests_arg $ joins_arg
+       $ seed_arg $ budget_arg $ verbose_arg))
+
 (* ---------------- sql ---------------- *)
 
 let sql_cmd =
@@ -285,4 +390,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; report_cmd; render_cmd; optimize_cmd; sql_cmd ]))
+          [ check_cmd; report_cmd; render_cmd; optimize_cmd; serve_cmd; sql_cmd ]))

@@ -40,6 +40,52 @@ let without d props =
 let equal = String_map.equal Value.equal
 let compare = String_map.compare Value.compare
 let hash d = Hashtbl.hash (to_list d)
+
+(* Injective serialization for fingerprinting.  Strings are length-prefixed
+   so concatenation cannot introduce collisions; floats are rendered as hex
+   ("%h") so distinct bit patterns stay distinct where "%g" would round. *)
+let add_fingerprint buf d =
+  let tagged c s =
+    Buffer.add_char buf c;
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  let rec add_value = function
+    | Value.Null -> Buffer.add_char buf 'N'
+    | Value.Bool b -> Buffer.add_char buf (if b then 'T' else 'F')
+    | Value.Int i ->
+      Buffer.add_char buf 'I';
+      Buffer.add_string buf (string_of_int i)
+    | Value.Float f ->
+      Buffer.add_char buf 'D';
+      Buffer.add_string buf (Printf.sprintf "%h" f)
+    | Value.Str s -> tagged 'S' s
+    | Value.Order o -> tagged 'O' (Prairie_value.Order.to_string o)
+    | Value.Pred p -> tagged 'P' (Prairie_value.Predicate.to_string p)
+    | Value.Attrs attrs ->
+      tagged 'A'
+        (String.concat "\x01" (List.map Prairie_value.Attribute.to_string attrs))
+    | Value.List vs ->
+      Buffer.add_char buf 'L';
+      Buffer.add_string buf (string_of_int (List.length vs));
+      Buffer.add_char buf ':';
+      List.iter add_value vs
+  in
+  Buffer.add_char buf '{';
+  String_map.iter
+    (fun p v ->
+      tagged 'k' p;
+      Buffer.add_char buf '=';
+      add_value v;
+      Buffer.add_char buf ';')
+    d;
+  Buffer.add_char buf '}'
+
+let fingerprint d =
+  let buf = Buffer.create 64 in
+  add_fingerprint buf d;
+  Buffer.contents buf
 let get_int d p = Value.to_int (get d p)
 let get_float d p = Value.to_float (get d p)
 let get_order d p = Value.to_order (get d p)

@@ -47,6 +47,17 @@ val compare : t -> t -> int
 
 val hash : t -> int
 
+val add_fingerprint : Buffer.t -> t -> unit
+(** Append an injective canonical serialization of the bindings to a buffer
+    (the building block of {!Prairie.Expr.fingerprint}).  Because "no
+    constraint" values are normalized to absence (see {!set}), descriptors
+    built along different rewriting paths serialize identically exactly when
+    they are {!equal}. *)
+
+val fingerprint : t -> string
+(** [add_fingerprint] into a fresh buffer.
+    [fingerprint a = fingerprint b] iff [equal a b]. *)
+
 (** {1 Typed accessors}
 
     Convenience readers used throughout rule tests, cost functions and the

@@ -94,6 +94,31 @@ let rec hash = function
   | Node (k, n, d, xs) ->
     Hashtbl.hash (1, k, n, Descriptor.hash d, List.map hash xs)
 
+let fingerprint ?(required = Descriptor.empty) t =
+  let buf = Buffer.create 256 in
+  let name n =
+    Buffer.add_string buf (string_of_int (String.length n));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf n
+  in
+  let rec go = function
+    | Stored (n, d) ->
+      Buffer.add_char buf 's';
+      name n;
+      Descriptor.add_fingerprint buf d
+    | Node (kind, n, d, xs) ->
+      Buffer.add_char buf (match kind with Operator -> 'o' | Algorithm -> 'a');
+      name n;
+      Descriptor.add_fingerprint buf d;
+      Buffer.add_char buf '(';
+      List.iter go xs;
+      Buffer.add_char buf ')'
+  in
+  go t;
+  Buffer.add_char buf '|';
+  Descriptor.add_fingerprint buf required;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let rec pp ppf = function
   | Stored (name, _) -> Format.pp_print_string ppf name
   | Node (_, name, _, xs) ->

@@ -65,6 +65,15 @@ val compare : t -> t -> int
 
 val hash : t -> int
 
+val fingerprint : ?required:Descriptor.t -> t -> string
+(** Canonical query fingerprint: the hex digest of an injective
+    serialization of the whole tree (labels, node kinds and descriptors)
+    together with the required physical-property descriptor of the request
+    (default: empty).  Two requests collide exactly when the trees satisfy
+    {!equal} and the requirements satisfy {!Descriptor.equal}, so the
+    fingerprint is a sound cache key for plan services: equal fingerprints
+    mean semantically identical optimization problems. *)
+
 val pp : Format.formatter -> t -> unit
 (** Compact one-line rendering, e.g. [SORT(JOIN(RET(R1), RET(R2)))]. *)
 

@@ -54,3 +54,95 @@ let optimize ?pruning ?group_budget ?(required = Descriptor.empty) t expr =
   let plan = Search.optimize ~required search expr in
   let cost = match plan with Some p -> Plan.cost p | None -> infinity in
   { plan; cost; search }
+
+(* ---------------- the plan service ---------------- *)
+
+module Plan_cache = Prairie_service.Plan_cache
+module Pool = Prairie_service.Pool
+
+type request = { expr : Prairie.Expr.t; required : Descriptor.t }
+
+let request ?(required = Descriptor.empty) expr = { expr; required }
+
+type served = {
+  request : request;
+  fingerprint : string;
+  plan : Plan.t option;
+  cost : float;
+  cache_hit : bool;
+  groups : int;
+  budget_hit : bool;
+}
+
+let serve ?pruning ?group_budget ?jobs ?cache t batch =
+  (* Preparation and fingerprinting are cheap; do them sequentially so the
+     batch can be deduplicated before any search is dispatched. *)
+  let prepared =
+    List.map
+      (fun req ->
+        let expr, req0 = t.prepare req.expr in
+        let required = Descriptor.merge ~base:req0 ~overrides:req.required in
+        let fp = Prairie.Expr.fingerprint ~required expr in
+        (req, expr, required, fp))
+      batch
+  in
+  (* One cache lookup per request (so hit/miss accounting reflects real
+     traffic), then one search per distinct missing fingerprint. *)
+  let resolved = Hashtbl.create (List.length prepared) in
+  let to_optimize = Hashtbl.create 16 in
+  List.iter
+    (fun (_, expr, required, fp) ->
+      let cached =
+        match cache with
+        | Some c -> Plan_cache.find c ~ruleset:t.name ~fingerprint:fp
+        | None -> None
+      in
+      match cached with
+      | Some entry -> Hashtbl.replace resolved fp entry
+      | None ->
+        if not (Hashtbl.mem resolved fp || Hashtbl.mem to_optimize fp) then
+          Hashtbl.add to_optimize fp (expr, required))
+    prepared;
+  let jobs_list =
+    Hashtbl.fold (fun fp (expr, required) acc -> (fp, expr, required) :: acc)
+      to_optimize []
+  in
+  let optimize_one (fp, expr, required) =
+    let search = Search.create ?pruning ?group_budget t.volcano in
+    let plan = Search.optimize ~required search expr in
+    let cost = match plan with Some p -> Plan.cost p | None -> infinity in
+    let entry =
+      {
+        Plan_cache.plan;
+        cost;
+        groups = Search.group_count search;
+        budget_hit = Search.budget_was_hit search;
+      }
+    in
+    (match cache with
+    | Some c -> Plan_cache.add c ~ruleset:t.name ~fingerprint:fp entry
+    | None -> ());
+    (fp, entry)
+  in
+  List.iter
+    (fun (fp, entry) -> Hashtbl.add resolved fp entry)
+    (Pool.map ?jobs optimize_one jobs_list);
+  (* The first request carrying a freshly-searched fingerprint paid for the
+     search; every other request was served from shared state. *)
+  let owned = Hashtbl.create 16 in
+  List.map
+    (fun (request, _, _, fp) ->
+      let entry = Hashtbl.find resolved fp in
+      let fresh = Hashtbl.mem to_optimize fp && not (Hashtbl.mem owned fp) in
+      if fresh then Hashtbl.add owned fp ();
+      let cache_hit = not fresh in
+      {
+        request;
+        fingerprint = fp;
+        plan = entry.Plan_cache.plan;
+        cost = entry.Plan_cache.cost;
+        cache_hit;
+        groups = entry.Plan_cache.groups;
+        budget_hit = entry.Plan_cache.budget_hit;
+      })
+    prepared

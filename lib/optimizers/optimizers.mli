@@ -49,3 +49,49 @@ val optimize :
 (** Prepare the query, run the search from a fresh memo and return the
     best plan with the search context (for group counts and rule-match
     statistics). *)
+
+(** {1 The parallel plan service}
+
+    Batch optimization over a pool of OCaml 5 domains with a shared
+    fingerprint-keyed plan cache.  Each worker owns a private [Search.t]
+    (the memo never crosses domains); the {!Prairie_service.Plan_cache.t}
+    is the only shared structure.  Within one batch, requests with equal
+    fingerprints are optimized once. *)
+
+module Plan_cache = Prairie_service.Plan_cache
+module Pool = Prairie_service.Pool
+
+type request = {
+  expr : Prairie.Expr.t;
+  required : Prairie.Descriptor.t;  (** extra required physical properties *)
+}
+
+val request : ?required:Prairie.Descriptor.t -> Prairie.Expr.t -> request
+
+type served = {
+  request : request;
+  fingerprint : string;
+      (** of the prepared query + merged requirement — the cache key *)
+  plan : Prairie_volcano.Plan.t option;
+  cost : float;  (** infinity when no plan exists *)
+  cache_hit : bool;
+      (** resolved without running a search of its own (cache hit, or a
+          duplicate fingerprint earlier in the same batch) *)
+  groups : int;  (** memo size of the search that produced the plan *)
+  budget_hit : bool;  (** that search hit [group_budget] and degraded *)
+}
+
+val serve :
+  ?pruning:bool ->
+  ?group_budget:int ->
+  ?jobs:int ->
+  ?cache:Plan_cache.t ->
+  t ->
+  request list ->
+  served list
+(** Optimize a batch, in request order.  [jobs] is the worker count
+    (default {!Pool.default_jobs}; [1] is fully sequential).  [cache] is
+    consulted before and populated after every search; omitting it still
+    deduplicates within the batch.  [group_budget] is the per-request
+    budget: an over-large query degrades gracefully instead of stalling a
+    worker (see {!Prairie_volcano.Search.create}). *)

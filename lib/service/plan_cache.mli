@@ -1,0 +1,58 @@
+(** A concurrency-safe LRU cache of winning plans.
+
+    The plan service's shared state: entries are keyed by the pair
+    ⟨rule-set name, query fingerprint⟩ (see {!Prairie.Expr.fingerprint}),
+    so semantically identical requests against the same optimizer collide
+    and repeated traffic skips the Volcano search entirely.  All operations
+    take an internal mutex; the cache is the one structure the domain pool
+    shares between workers.
+
+    Invalidation: the cached plan depends on the rule set {e and} on the
+    catalog statistics baked into its cost functions, so any catalog or
+    rule-set change must be followed by {!invalidate} (one rule set) or
+    {!clear} (everything). *)
+
+type entry = {
+  plan : Prairie_volcano.Plan.t option;  (** [None]: no plan exists (cached negative) *)
+  cost : float;  (** infinity when [plan = None] *)
+  groups : int;  (** memo equivalence classes of the original search *)
+  budget_hit : bool;  (** did the original search degrade gracefully? *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;  (** LRU capacity evictions *)
+  invalidations : int;  (** entries dropped by invalidate/clear *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty cache holding at most [capacity] (default 1024, min 1)
+    entries; beyond that the least-recently-used entry is evicted. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val find : t -> ruleset:string -> fingerprint:string -> entry option
+(** Lookup; a hit refreshes the entry's recency and is counted in
+    {!stats}. *)
+
+val add : t -> ruleset:string -> fingerprint:string -> entry -> unit
+(** Insert or refresh; replacing an existing key updates the entry in
+    place (last write wins — workers racing on the same fingerprint
+    produce equal-cost plans, so either is fine to keep). *)
+
+val invalidate : t -> ruleset:string -> unit
+(** Drop every entry of one rule set (after a catalog or rule change). *)
+
+val clear : t -> unit
+(** Drop everything; keeps the hit/miss counters. *)
+
+val stats : t -> stats
+
+val hit_rate : t -> float
+(** hits / (hits + misses), 0 when no lookups have happened. *)
+
+val pp_stats : Format.formatter -> t -> unit

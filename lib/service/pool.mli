@@ -1,0 +1,19 @@
+(** A fixed pool of OCaml 5 domains mapping a function over a batch.
+
+    The threading model of the plan service: each batch item is processed
+    entirely within one domain, so per-item state (a fresh [Search.t] with
+    its memo) never crosses domains; only explicitly thread-safe structures
+    ({!Plan_cache.t}) may be shared by the supplied function.  Work is
+    distributed dynamically through a shared atomic cursor, so a batch of
+    uneven optimization times still keeps every worker busy. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], capped at 8 — the sweet spot for
+    optimizer workloads whose working sets are memo-sized, not data-sized. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map with [jobs] workers (default
+    {!default_jobs}; the calling domain counts as one worker, so [jobs:1]
+    — or a batch of one — degenerates to [List.map] with no domain spawned).
+    If [f] raises, remaining items are abandoned, all workers are joined,
+    and the first exception observed is re-raised in the caller. *)

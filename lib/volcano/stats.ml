@@ -9,10 +9,10 @@ type t = {
   mutable memo_hits : int;
   mutable optimize_calls : int;
   mutable pruned : int;
-  mutable trans_matched : string list;
-  mutable impl_matched : string list;
-  mutable trans_applied : string list;
-  mutable impl_applied : string list;
+  trans_matched : (string, unit) Hashtbl.t;
+  impl_matched : (string, unit) Hashtbl.t;
+  trans_applied : (string, unit) Hashtbl.t;
+  impl_applied : (string, unit) Hashtbl.t;
 }
 
 let create () =
@@ -27,10 +27,10 @@ let create () =
     memo_hits = 0;
     optimize_calls = 0;
     pruned = 0;
-    trans_matched = [];
-    impl_matched = [];
-    trans_applied = [];
-    impl_applied = [];
+    trans_matched = Hashtbl.create 32;
+    impl_matched = Hashtbl.create 32;
+    trans_applied = Hashtbl.create 32;
+    impl_applied = Hashtbl.create 32;
   }
 
 let reset t =
@@ -44,31 +44,26 @@ let reset t =
   t.memo_hits <- 0;
   t.optimize_calls <- 0;
   t.pruned <- 0;
-  t.trans_matched <- [];
-  t.impl_matched <- [];
-  t.trans_applied <- [];
-  t.impl_applied <- []
+  Hashtbl.reset t.trans_matched;
+  Hashtbl.reset t.impl_matched;
+  Hashtbl.reset t.trans_applied;
+  Hashtbl.reset t.impl_applied
 
-let record_trans_match t name =
-  if not (List.mem name t.trans_matched) then
-    t.trans_matched <- name :: t.trans_matched
+let record_trans_match t name = Hashtbl.replace t.trans_matched name ()
+let record_impl_match t name = Hashtbl.replace t.impl_matched name ()
+let record_trans_applied t name = Hashtbl.replace t.trans_applied name ()
+let record_impl_applied t name = Hashtbl.replace t.impl_applied name ()
+let trans_matched_count t = Hashtbl.length t.trans_matched
+let impl_matched_count t = Hashtbl.length t.impl_matched
+let trans_applied_count t = Hashtbl.length t.trans_applied
+let impl_applied_count t = Hashtbl.length t.impl_applied
 
-let record_impl_match t name =
-  if not (List.mem name t.impl_matched) then
-    t.impl_matched <- name :: t.impl_matched
+let names set = List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) set [])
 
-let record_trans_applied t name =
-  if not (List.mem name t.trans_applied) then
-    t.trans_applied <- name :: t.trans_applied
-
-let record_impl_applied t name =
-  if not (List.mem name t.impl_applied) then
-    t.impl_applied <- name :: t.impl_applied
-
-let trans_matched_count t = List.length t.trans_matched
-let impl_matched_count t = List.length t.impl_matched
-let trans_applied_count t = List.length t.trans_applied
-let impl_applied_count t = List.length t.impl_applied
+let trans_matched_names t = names t.trans_matched
+let impl_matched_names t = names t.impl_matched
+let trans_applied_names t = names t.trans_applied
+let impl_applied_names t = names t.impl_applied
 
 let pp ppf t =
   Format.fprintf ppf

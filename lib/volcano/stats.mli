@@ -14,11 +14,13 @@ type t = {
   mutable memo_hits : int;
   mutable optimize_calls : int;
   mutable pruned : int;  (** sub-searches abandoned by the cost limit *)
-  mutable trans_matched : string list;  (** distinct trans rules whose LHS matched *)
-  mutable impl_matched : string list;  (** distinct impl rules whose operator matched *)
-  mutable trans_applied : string list;
+  trans_matched : (string, unit) Hashtbl.t;
+      (** distinct trans rules whose LHS matched *)
+  impl_matched : (string, unit) Hashtbl.t;
+      (** distinct impl rules whose operator matched *)
+  trans_applied : (string, unit) Hashtbl.t;
       (** distinct trans rules whose condition passed at least once *)
-  mutable impl_applied : string list;
+  impl_applied : (string, unit) Hashtbl.t;
       (** distinct impl rules whose condition passed at least once *)
 }
 
@@ -39,5 +41,13 @@ val record_trans_applied : t -> string -> unit
 val record_impl_applied : t -> string -> unit
 val trans_applied_count : t -> int
 val impl_applied_count : t -> int
+
+(** The recorded rule names, sorted (the sets themselves are Hashtbl-backed
+    so recording stays O(1) under rule sets with many distinct rules). *)
+
+val trans_matched_names : t -> string list
+val impl_matched_names : t -> string list
+val trans_applied_names : t -> string list
+val impl_applied_names : t -> string list
 
 val pp : Format.formatter -> t -> unit

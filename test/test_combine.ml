@@ -94,7 +94,7 @@ let basic_tests =
         let st = Search.stats ctx in
         check "nested loops considered" true
           (List.mem "join_nested_loops"
-             st.Prairie_volcano.Stats.impl_matched));
+             (Prairie_volcano.Stats.impl_matched_names st)));
   ]
 
 let suites = [ ("combine", basic_tests) ]

@@ -10,4 +10,5 @@ let () =
    @ Test_query.suites @ Test_helpers.suites @ Test_combine.suites
    @ Test_misc.suites @ Test_genrules.suites @ Test_unnest.suites
    @ Test_star.suites @ Test_distributed.suites @ Test_properties.suites
-   @ Test_translate_pieces.suites @ Test_aggregates.suites)
+   @ Test_translate_pieces.suites @ Test_aggregates.suites
+   @ Test_service.suites)

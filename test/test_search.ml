@@ -150,4 +150,76 @@ let property_tests =
     qtest "branch-and-bound pruning never changes the answer" pruning_equivalence;
   ]
 
-let suites = [ ("search.basic", basic_tests); ("search.oracle", property_tests) ]
+(* Deterministic coverage for the two search knobs: the group-budget
+   degradation path and the pruning toggle. *)
+
+module W = Prairie_workload
+module Opt = Prairie_optimizers.Optimizers
+
+let knob_tests =
+  [
+    Alcotest.test_case "group budget degrades but still yields a plan" `Quick
+      (fun () ->
+        let inst = W.Queries.instance W.Queries.Q5 ~joins:2 ~seed:101 in
+        let opt = Opt.oodb_prairie inst.W.Queries.catalog in
+        let expr, required = opt.Opt.prepare inst.W.Queries.expr in
+        let budgeted = Search.create ~group_budget:10 opt.Opt.volcano in
+        let plan = Search.optimize ~required budgeted expr in
+        check "budget was hit" true (Search.budget_was_hit budgeted);
+        check "a plan still exists" true (plan <> None);
+        (match plan with
+        | Some p ->
+          check "the plan is executable (a pure access plan)" true
+            (Expr.is_access_plan (Plan.to_expr p));
+          check "its cost is finite" true (Float.is_finite (Plan.cost p))
+        | None -> ());
+        let unbudgeted = Search.create opt.Opt.volcano in
+        ignore (Search.optimize ~required unbudgeted expr);
+        check "the capped memo is no larger than the full search's" true
+          (Search.group_count budgeted <= Search.group_count unbudgeted));
+    Alcotest.test_case "no budget means budget_was_hit is false" `Quick
+      (fun () ->
+        let inst = W.Queries.instance W.Queries.Q1 ~joins:2 ~seed:101 in
+        let opt = Opt.oodb_prairie inst.W.Queries.catalog in
+        let expr, required = opt.Opt.prepare inst.W.Queries.expr in
+        let ctx = Search.create opt.Opt.volcano in
+        ignore (Search.optimize ~required ctx expr);
+        check "not hit" false (Search.budget_was_hit ctx));
+    Alcotest.test_case "budgeted cost is no better than the optimum" `Quick
+      (fun () ->
+        let inst = W.Queries.instance W.Queries.Q5 ~joins:2 ~seed:101 in
+        let opt = Opt.oodb_prairie inst.W.Queries.catalog in
+        let best = Opt.optimize opt inst.W.Queries.expr in
+        let degraded = Opt.optimize ~group_budget:20 opt inst.W.Queries.expr in
+        check "optimum <= degraded" true
+          (best.Opt.cost <= degraded.Opt.cost +. 1e-9));
+    Alcotest.test_case "pruning:false matches pruning:true (relational)" `Quick
+      (fun () ->
+        List.iter
+          (fun seed ->
+            let catalog, q = random_setup seed in
+            let on, _ = optimize ~pruning:true catalog q in
+            let off, _ = optimize ~pruning:false catalog q in
+            match (on, off) with
+            | Some a, Some b -> checkf "same best cost" (Plan.cost a) (Plan.cost b)
+            | None, None -> ()
+            | _ -> Alcotest.fail "pruning changed plan existence")
+          [ 11; 22; 33; 44; 55 ]);
+    Alcotest.test_case "pruning:false matches pruning:true (OODB Q1/Q3)" `Quick
+      (fun () ->
+        List.iter
+          (fun (q, joins) ->
+            let inst = W.Queries.instance q ~joins ~seed:101 in
+            let opt = Opt.oodb_prairie inst.W.Queries.catalog in
+            let on = Opt.optimize ~pruning:true opt inst.W.Queries.expr in
+            let off = Opt.optimize ~pruning:false opt inst.W.Queries.expr in
+            checkf "same best cost" on.Opt.cost off.Opt.cost)
+          [ (W.Queries.Q1, 2); (W.Queries.Q3, 1) ]);
+  ]
+
+let suites =
+  [
+    ("search.basic", basic_tests);
+    ("search.oracle", property_tests);
+    ("search.knobs", knob_tests);
+  ]

@@ -1,0 +1,296 @@
+(* The parallel plan service: fingerprints, the LRU plan cache and the
+   domain pool, checked against the sequential single-shot path. *)
+
+module Opt = Prairie_optimizers.Optimizers
+module Cache = Prairie_service.Plan_cache
+module Pool = Prairie_service.Pool
+module Plan = Prairie_volcano.Plan
+module Search = Prairie_volcano.Search
+module Expr = Prairie.Expr
+module D = Prairie.Descriptor
+module V = Prairie_value.Value
+module W = Prairie_workload
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* One catalog and optimizer shared by every test: the vocabulary is small
+   on purpose, so random requests collide and the fingerprint/cache paths
+   actually trigger. *)
+let catalog =
+  W.Catalogs.make (W.Catalogs.default_spec ~classes:3 ~indexed:true ~seed:7)
+
+let opt = lazy (Opt.oodb_prairie catalog)
+
+let gen_request =
+  QCheck2.Gen.(
+    let* family = oneofl W.Expressions.[ E1; E2; E3 ] in
+    let* joins = 1 -- 2 in
+    return (Opt.request (W.Expressions.build family catalog ~joins)))
+
+let digest served =
+  match served with
+  | Some p -> Digest.string (Marshal.to_string (p : Plan.t) [])
+  | None -> ""
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* random small operator trees over a tiny vocabulary (collisions likely) *)
+let gen_expr =
+  QCheck2.Gen.(
+    let leaf =
+      map
+        (fun name -> Expr.stored ~desc:(D.of_list [ ("file", V.Str name) ]) name)
+        (oneofl [ "F1"; "F2" ])
+    in
+    let desc = map (fun i -> D.of_list [ ("k", V.Int i) ]) (0 -- 1) in
+    sized_size (0 -- 3) @@ fix (fun self n ->
+        if n = 0 then leaf
+        else
+          oneof
+            [
+              leaf;
+              map2 (fun d x -> Expr.operator "U" d [ x ]) desc (self (n - 1));
+              map3
+                (fun d x y -> Expr.operator "B" d [ x; y ])
+                desc (self (n / 2)) (self (n / 2));
+            ]))
+
+let gen_required =
+  QCheck2.Gen.(
+    oneofl
+      [ D.empty; D.of_list [ ("k", V.Int 1) ]; D.of_list [ ("k", V.Int 2) ] ])
+
+let fingerprint_tests =
+  [
+    qtest "fingerprint equality coincides with structural equality"
+      QCheck2.Gen.(pair (pair gen_expr gen_required) (pair gen_expr gen_required))
+      (fun ((a, ra), (b, rb)) ->
+        let fa = Expr.fingerprint ~required:ra a in
+        let fb = Expr.fingerprint ~required:rb b in
+        String.equal fa fb = (Expr.equal a b && D.equal ra rb));
+    qtest "fingerprint ignores binding insertion order" gen_expr (fun e ->
+        let d1 = D.of_list [ ("x", V.Int 1); ("y", V.Str "s") ] in
+        let d2 = D.of_list [ ("y", V.Str "s"); ("x", V.Int 1) ] in
+        String.equal
+          (Expr.fingerprint (Expr.with_descriptor e d1))
+          (Expr.fingerprint (Expr.with_descriptor e d2)));
+    qtest "equal fingerprints imply identical optimized plan cost" ~count:40
+      QCheck2.Gen.(pair gen_request gen_request)
+      (fun (r1, r2) ->
+        let o = Lazy.force opt in
+        let fp r = Expr.fingerprint ~required:r.Opt.required r.Opt.expr in
+        if String.equal (fp r1) (fp r2) then begin
+          (* two independent searches, no shared state *)
+          let a = Opt.optimize ~required:r1.Opt.required o r1.Opt.expr in
+          let b = Opt.optimize ~required:r2.Opt.required o r2.Opt.expr in
+          Float.equal a.Opt.cost b.Opt.cost
+        end
+        else true);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The LRU plan cache                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let entry cost = { Cache.plan = None; cost; groups = 0; budget_hit = false }
+
+let cache_tests =
+  [
+    Alcotest.test_case "find after add returns the entry" `Quick (fun () ->
+        let c = Cache.create () in
+        Cache.add c ~ruleset:"rs" ~fingerprint:"a" (entry 1.0);
+        (match Cache.find c ~ruleset:"rs" ~fingerprint:"a" with
+        | Some e -> checkf "cost" 1.0 e.Cache.cost
+        | None -> Alcotest.fail "expected a hit");
+        check "other ruleset misses" true
+          (Cache.find c ~ruleset:"other" ~fingerprint:"a" = None));
+    Alcotest.test_case "capacity evicts the least recently used" `Quick
+      (fun () ->
+        let c = Cache.create ~capacity:2 () in
+        Cache.add c ~ruleset:"rs" ~fingerprint:"a" (entry 1.0);
+        Cache.add c ~ruleset:"rs" ~fingerprint:"b" (entry 2.0);
+        (* touch "a" so "b" becomes the eviction candidate *)
+        ignore (Cache.find c ~ruleset:"rs" ~fingerprint:"a");
+        Cache.add c ~ruleset:"rs" ~fingerprint:"c" (entry 3.0);
+        checki "still 2 entries" 2 (Cache.length c);
+        check "a survives" true
+          (Cache.find c ~ruleset:"rs" ~fingerprint:"a" <> None);
+        check "b evicted" true
+          (Cache.find c ~ruleset:"rs" ~fingerprint:"b" = None);
+        check "c present" true
+          (Cache.find c ~ruleset:"rs" ~fingerprint:"c" <> None);
+        checki "one eviction" 1 (Cache.stats c).Cache.evictions);
+    Alcotest.test_case "invalidate drops exactly one rule set" `Quick
+      (fun () ->
+        let c = Cache.create () in
+        Cache.add c ~ruleset:"rs1" ~fingerprint:"a" (entry 1.0);
+        Cache.add c ~ruleset:"rs1" ~fingerprint:"b" (entry 2.0);
+        Cache.add c ~ruleset:"rs2" ~fingerprint:"a" (entry 3.0);
+        Cache.invalidate c ~ruleset:"rs1";
+        checki "one entry left" 1 (Cache.length c);
+        check "rs2 survives" true
+          (Cache.find c ~ruleset:"rs2" ~fingerprint:"a" <> None);
+        checki "two invalidations" 2 (Cache.stats c).Cache.invalidations);
+    Alcotest.test_case "clear empties but keeps counters" `Quick (fun () ->
+        let c = Cache.create () in
+        Cache.add c ~ruleset:"rs" ~fingerprint:"a" (entry 1.0);
+        ignore (Cache.find c ~ruleset:"rs" ~fingerprint:"a");
+        Cache.clear c;
+        checki "empty" 0 (Cache.length c);
+        checki "hits kept" 1 (Cache.stats c).Cache.hits);
+    Alcotest.test_case "hit rate counts lookups" `Quick (fun () ->
+        let c = Cache.create () in
+        Cache.add c ~ruleset:"rs" ~fingerprint:"a" (entry 1.0);
+        ignore (Cache.find c ~ruleset:"rs" ~fingerprint:"a");
+        ignore (Cache.find c ~ruleset:"rs" ~fingerprint:"missing");
+        Alcotest.(check (float 1e-6)) "50%" 0.5 (Cache.hit_rate c));
+    Alcotest.test_case "concurrent add/find keeps the cache coherent" `Quick
+      (fun () ->
+        let c = Cache.create ~capacity:64 () in
+        let worker d () =
+          for i = 0 to 199 do
+            let fp = Printf.sprintf "fp%d" (i mod 80) in
+            (match Cache.find c ~ruleset:"rs" ~fingerprint:fp with
+            | Some _ -> ()
+            | None ->
+              Cache.add c ~ruleset:"rs" ~fingerprint:fp
+                (entry (float_of_int (d + i))));
+            if i mod 50 = 0 then Cache.invalidate c ~ruleset:"other"
+          done
+        in
+        let domains = List.init 3 (fun d -> Domain.spawn (worker d)) in
+        worker 3 ();
+        List.iter Domain.join domains;
+        check "length within capacity" true (Cache.length c <= 64));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The domain pool                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pool_tests =
+  [
+    Alcotest.test_case "map preserves order and results" `Quick (fun () ->
+        let xs = List.init 100 Fun.id in
+        Alcotest.(check (list int))
+          "same as List.map" (List.map succ xs)
+          (Pool.map ~jobs:4 succ xs));
+    Alcotest.test_case "jobs:1 and the empty batch degenerate" `Quick
+      (fun () ->
+        Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 succ []);
+        Alcotest.(check (list int)) "seq" [ 2 ] (Pool.map ~jobs:1 succ [ 1 ]));
+    Alcotest.test_case "exceptions propagate to the caller" `Quick (fun () ->
+        check "raises" true
+          (try
+             ignore
+               (Pool.map ~jobs:4
+                  (fun i -> if i = 17 then failwith "boom" else i)
+                  (List.init 64 Fun.id));
+             false
+           with Failure _ -> true));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* serve: the batched entry point                                      *)
+(* ------------------------------------------------------------------ *)
+
+let serve_tests =
+  [
+    qtest "a cache hit returns a plan bit-identical to a fresh search"
+      ~count:15 gen_request
+      (fun req ->
+        let o = Lazy.force opt in
+        let cache = Cache.create () in
+        ignore (Opt.serve ~jobs:1 ~cache o [ req ]);
+        match Opt.serve ~jobs:1 ~cache o [ req ] with
+        | [ warm ] ->
+          let fresh = Opt.optimize ~required:req.Opt.required o req.Opt.expr in
+          warm.Opt.cache_hit
+          && Float.equal warm.Opt.cost fresh.Opt.cost
+          && String.equal (digest warm.Opt.plan) (digest fresh.Opt.plan)
+        | _ -> false);
+    qtest "a parallel pool matches the sequential path" ~count:8
+      QCheck2.Gen.(list_size (1 -- 6) gen_request)
+      (fun batch ->
+        let o = Lazy.force opt in
+        let seq = Opt.serve ~jobs:1 o batch in
+        let par = Opt.serve ~jobs:4 o batch in
+        List.for_all2
+          (fun (a : Opt.served) (b : Opt.served) ->
+            String.equal a.Opt.fingerprint b.Opt.fingerprint
+            && Float.equal a.Opt.cost b.Opt.cost
+            && String.equal (digest a.Opt.plan) (digest b.Opt.plan))
+          seq par);
+    Alcotest.test_case "serve answers match Opt.optimize per request" `Quick
+      (fun () ->
+        let o = Lazy.force opt in
+        let batch =
+          [
+            Opt.request (W.Expressions.e1 catalog ~joins:2);
+            Opt.request (W.Expressions.e2 catalog ~joins:1);
+            Opt.request (W.Expressions.e1 catalog ~joins:2);
+          ]
+        in
+        let served = Opt.serve ~jobs:2 o batch in
+        List.iter2
+          (fun req (s : Opt.served) ->
+            let r = Opt.optimize o req.Opt.expr in
+            checkf "cost" r.Opt.cost s.Opt.cost)
+          batch served);
+    Alcotest.test_case "duplicate fingerprints are searched once" `Quick
+      (fun () ->
+        let o = Lazy.force opt in
+        let req = Opt.request (W.Expressions.e1 catalog ~joins:1) in
+        let served = Opt.serve ~jobs:1 o [ req; req; req ] in
+        checki "one fresh search" 1
+          (List.length (List.filter (fun s -> not s.Opt.cache_hit) served)));
+    Alcotest.test_case "cold pass misses, warm pass hits" `Quick (fun () ->
+        let o = Lazy.force opt in
+        let cache = Cache.create () in
+        let batch =
+          [
+            Opt.request (W.Expressions.e1 catalog ~joins:1);
+            Opt.request (W.Expressions.e2 catalog ~joins:1);
+          ]
+        in
+        let cold = Opt.serve ~jobs:1 ~cache o batch in
+        checki "no cold hits" 0
+          (List.length (List.filter (fun s -> s.Opt.cache_hit) cold));
+        let warm = Opt.serve ~jobs:1 ~cache o batch in
+        checki "all warm hits" 2
+          (List.length (List.filter (fun s -> s.Opt.cache_hit) warm));
+        check "cache hit rate 50%" true (Float.equal (Cache.hit_rate cache) 0.5));
+    Alcotest.test_case "per-request budget degrades inside the pool" `Quick
+      (fun () ->
+        let o = Lazy.force opt in
+        let req = Opt.request (W.Expressions.e3 catalog ~joins:2) in
+        match Opt.serve ~jobs:2 ~group_budget:20 o [ req ] with
+        | [ s ] ->
+          check "degraded" true s.Opt.budget_hit;
+          check "still planned" true (s.Opt.plan <> None)
+        | _ -> Alcotest.fail "one request, one answer");
+    Alcotest.test_case "invalidation forces re-optimization" `Quick (fun () ->
+        let o = Lazy.force opt in
+        let cache = Cache.create () in
+        let batch = [ Opt.request (W.Expressions.e1 catalog ~joins:1) ] in
+        ignore (Opt.serve ~jobs:1 ~cache o batch);
+        Cache.invalidate cache ~ruleset:o.Opt.name;
+        let again = Opt.serve ~jobs:1 ~cache o batch in
+        checki "fresh search after invalidation" 0
+          (List.length (List.filter (fun s -> s.Opt.cache_hit) again)));
+  ]
+
+let suites =
+  [
+    ("service.fingerprint", fingerprint_tests);
+    ("service.cache", cache_tests);
+    ("service.pool", pool_tests);
+    ("service.serve", serve_tests);
+  ]
