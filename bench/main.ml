@@ -15,8 +15,14 @@ module Stats = Prairie_volcano.Stats
 module P2v = Prairie_p2v
 module Rel = Prairie_algebra.Relational
 module S = Support
+module Obs = Prairie_obs
 
 let full = ref false
+
+(* Registry behind the --metrics FILE flag; sections that can self-report
+   (currently [service] and [obs]) feed it, and the driver dumps it in
+   Prometheus text format after the run. *)
+let metrics : Obs.Metrics.t option ref = ref None
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: operators, algorithms and additional parameters            *)
@@ -564,16 +570,24 @@ let service () =
         baseline := List.map (fun r -> Opt.optimize opt r.Opt.expr) mix)
   in
   (* 2. batched, sequential: within-batch fingerprint dedup only *)
-  let t_seq = S.time_once (fun () -> ignore (Opt.serve ~jobs:1 opt mix)) in
+  let t_seq =
+    S.time_once (fun () -> ignore (Opt.serve ~jobs:1 ?metrics:!metrics opt mix))
+  in
   (* 3. batched, domain pool *)
-  let t_par = S.time_once (fun () -> ignore (Opt.serve ~jobs opt mix)) in
+  let t_par =
+    S.time_once (fun () -> ignore (Opt.serve ~jobs ?metrics:!metrics opt mix))
+  in
   (* 4. cold then warm shared cache *)
   let cache = Opt.Plan_cache.create ~capacity:256 () in
   let cold = ref [] in
-  let t_cold = S.time_once (fun () -> cold := Opt.serve ~jobs ~cache opt mix) in
+  let t_cold =
+    S.time_once (fun () -> cold := Opt.serve ~jobs ~cache ?metrics:!metrics opt mix)
+  in
   let s_cold = Opt.Plan_cache.stats cache in
   let warm = ref [] in
-  let t_warm = S.time_once (fun () -> warm := Opt.serve ~jobs ~cache opt mix) in
+  let t_warm =
+    S.time_once (fun () -> warm := Opt.serve ~jobs ~cache ?metrics:!metrics opt mix)
+  in
   let s_warm = Opt.Plan_cache.stats cache in
   Printf.printf "  %-34s %10s %9s\n" "configuration" "time(ms)" "speedup";
   List.iter
@@ -634,6 +648,69 @@ let service () =
       let t = if j = 1 then t1 else time_at j in
       Printf.printf "  %6d %10.1f %8.2fx\n" j (t *. 1000.0) (t1 /. t))
     [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Observability: the cost of the trace/metrics instrumentation        *)
+(* ------------------------------------------------------------------ *)
+
+let obs () =
+  S.header "Observability: tracing and metrics overhead (sinks off vs on)";
+  let inst = W.Queries.instance W.Queries.Q5 ~joins:2 ~seed:101 in
+  let opt = Opt.oodb_prairie inst.W.Queries.catalog in
+  let expr = inst.W.Queries.expr in
+  (* best-of-N: the disabled path is one Option check per event site, so
+     the signal is small and easily drowned by scheduler noise *)
+  let rounds = if !full then 9 else 5 in
+  let best f =
+    let b = ref infinity in
+    for _ = 1 to rounds do
+      let t = S.time_ms f in
+      if t < !b then b := t
+    done;
+    !b
+  in
+  let t_off = best (fun () -> ignore (Opt.optimize opt expr)) in
+  let t_trace =
+    best (fun () ->
+        let sink = Obs.Trace.create () in
+        ignore (Opt.optimize ~trace:sink opt expr))
+  in
+  let t_metrics =
+    best (fun () ->
+        let m = match !metrics with Some m -> m | None -> Obs.Metrics.create () in
+        ignore (Opt.optimize ~metrics:m opt expr))
+  in
+  let t_both =
+    best (fun () ->
+        let sink = Obs.Trace.create () in
+        let m = match !metrics with Some m -> m | None -> Obs.Metrics.create () in
+        ignore (Opt.optimize ~trace:sink ~metrics:m opt expr))
+  in
+  let over t = (t /. Float.max 1e-9 t_off -. 1.0) *. 100.0 in
+  Printf.printf "  query Q5, 2 joins, best of %d timing rounds\n" rounds;
+  Printf.printf "  %-26s %12s %10s\n" "configuration" "time(ms)" "overhead";
+  List.iter
+    (fun (label, t) ->
+      Printf.printf "  %-26s %12.4f %+9.2f%%\n" label t (over t))
+    [
+      ("sinks disabled", t_off);
+      ("trace sink", t_trace);
+      ("metrics registry", t_metrics);
+      ("trace + metrics", t_both);
+    ];
+  (* the sink must be an observer: same plan, same cost, and the event
+     stream accounts for the search the optimizer actually ran *)
+  let plain = Opt.optimize opt expr in
+  let sink = Obs.Trace.create () in
+  let traced = Opt.optimize ~trace:sink opt expr in
+  Printf.printf "  traced cost identical to untraced: %s (%.3f)\n"
+    (if Float.equal plain.Opt.cost traced.Opt.cost then "yes" else "NO!")
+    traced.Opt.cost;
+  Printf.printf "  events recorded per optimization: %d (%d dropped)\n"
+    (Obs.Trace.seq sink) (Obs.Trace.dropped sink);
+  Printf.printf
+    "  The disabled path costs one Option check per event site; enabling a\n\
+    \  sink pays for event construction and the ring-buffer write.\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
@@ -714,12 +791,25 @@ let sections =
     ("distributed", distributed);
     ("ablations", ablations);
     ("service", service);
+    ("obs", obs);
     ("bechamel", bechamel);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
+  (* --metrics FILE: collect service/obs telemetry into a registry and dump
+     it as Prometheus text after the run ("-" for stdout) *)
+  let rec strip_metrics acc = function
+    | [] -> (None, List.rev acc)
+    | [ "--metrics" ] ->
+      prerr_endline "--metrics requires a FILE argument (\"-\" for stdout)";
+      exit 2
+    | "--metrics" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | a :: rest -> strip_metrics (a :: acc) rest
+  in
+  let metrics_file, args = strip_metrics [] args in
+  if metrics_file <> None then metrics := Some (Obs.Metrics.create ());
   let full_flag, named = List.partition (fun a -> a = "--full") args in
   full := full_flag <> [];
   let to_run =
@@ -738,4 +828,13 @@ let () =
   in
   Printf.printf "Prairie reproduction benchmarks%s\n"
     (if !full then " (full sweeps)" else "");
-  List.iter (fun (_, f) -> f ()) to_run
+  List.iter (fun (_, f) -> f ()) to_run;
+  match (metrics_file, !metrics) with
+  | Some "-", Some m -> Obs.Metrics.output stdout `Prometheus m
+  | Some file, Some m ->
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Obs.Metrics.output oc `Prometheus m);
+    Printf.printf "\nmetrics written to %s\n" file
+  | _ -> ()

@@ -5,6 +5,7 @@
      report   run the P2V pre-processor and print the translation report
      render   export an embedded rule set as .prairie source
      optimize run a workload query through a rule set
+     trace    optimize with a structured event trace and explain the search
      serve    batch-optimize a query mix on the parallel plan service
      sql      compile a SQL-like query, optimize and optionally execute *)
 
@@ -15,6 +16,8 @@ module Explain = Prairie_volcano.Explain
 module P2v = Prairie_p2v
 module W = Prairie_workload
 module Opt = Prairie_optimizers.Optimizers
+module Obs_trace = Prairie_obs.Trace
+module Metrics = Prairie_obs.Metrics
 
 let default_catalog () =
   W.Catalogs.make (W.Catalogs.default_spec ~classes:4 ~indexed:true ~seed:1)
@@ -207,6 +210,108 @@ let optimize_cmd =
         (const run $ query_arg $ joins_arg $ seed_arg $ ruleset_arg
        $ strategy_arg $ verbose_arg))
 
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let query_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "query"; "q" ] ~docv:"N" ~doc:"Workload query Q$(docv) (1-8).")
+  in
+  let joins_arg =
+    Arg.(value & opt int 2 & info [ "joins"; "n" ] ~docv:"N" ~doc:"Number of joins.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Catalog seed.")
+  in
+  let ruleset_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "ruleset"; "r" ] ~docv:"FILE"
+          ~doc:"Rule file to use instead of the embedded OODB rule set.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "capacity" ] ~docv:"K"
+          ~doc:"Trace ring-buffer capacity: older events beyond K are dropped.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "group-budget" ] ~docv:"B"
+          ~doc:"Memo group budget (shows budget-exhaustion in the trace).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Also dump the raw trace as JSON lines to $(docv) (- for stdout).")
+  in
+  let run qn joins seed ruleset_path capacity group_budget out verbose =
+    setup_verbose verbose;
+    if capacity < 1 then `Error (false, "--capacity must be at least 1")
+    else
+      match W.Queries.of_int qn with
+      | None -> `Error (false, "query number must be 1-8")
+      | Some q -> (
+        let inst = W.Queries.instance q ~joins ~seed in
+        let catalog = inst.W.Queries.catalog in
+        let ruleset_result =
+          match ruleset_path with
+          | None -> Ok (Prairie_algebra.Oodb.ruleset catalog)
+          | Some path -> load_ruleset path catalog
+        in
+        match ruleset_result with
+        | Error msg ->
+          prerr_endline msg;
+          `Error (false, "could not load the rule set")
+        | Ok rs ->
+          let tr = P2v.Translate.translate rs in
+          let opt =
+            {
+              Opt.name = rs.Prairie.Ruleset.name;
+              volcano = tr.P2v.Translate.volcano;
+              prepare = P2v.Translate.prepare_query tr;
+            }
+          in
+          let sink = Obs_trace.create ~capacity () in
+          Format.printf "query %s (%d joins, seed %d): %a@." (W.Queries.name q)
+            joins seed Prairie.Expr.pp inst.W.Queries.expr;
+          let r = Opt.optimize ?group_budget ~trace:sink opt inst.W.Queries.expr in
+          (match r.Opt.plan with
+          | Some plan ->
+            Format.printf "@.best plan: %s@.@." (Explain.summary plan);
+            Format.printf "%a" Explain.pp plan
+          | None -> print_endline "no plan found");
+          Format.printf "@.%a@." Explain.trace sink;
+          (match out with
+          | None -> ()
+          | Some "-" -> Obs_trace.output_jsonl stdout sink
+          | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> Obs_trace.output_jsonl oc sink);
+            Printf.printf "trace written to %s (%d events, %d dropped)\n" path
+              (Obs_trace.length sink) (Obs_trace.dropped sink));
+          `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Optimize a workload query with structured search tracing: the \
+          per-rule account of matches, applications and rejections (with \
+          reasons), winner changes and memo behaviour — why the plan was \
+          chosen, and why other rules never fired.")
+    Term.(
+      ret
+        (const run $ query_arg $ joins_arg $ seed_arg $ ruleset_arg
+       $ capacity_arg $ budget_arg $ out_arg $ verbose_arg))
+
 (* ---------------- serve ---------------- *)
 
 let serve_cmd =
@@ -247,12 +352,26 @@ let serve_cmd =
             "Per-request memo budget: over-large queries degrade gracefully \
              instead of stalling a worker.")
   in
-  let run jobs cache_size requests max_joins seed group_budget verbose =
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Dump service telemetry (request/search counters, latency \
+             histograms, cache and per-worker gauges) in Prometheus text \
+             format to $(docv) after the run (- for stdout).")
+  in
+  let run jobs cache_size requests max_joins seed group_budget metrics_file
+      verbose =
     setup_verbose verbose;
     if max_joins < 1 then `Error (false, "--joins must be at least 1")
     else if requests < 0 then `Error (false, "--requests must be non-negative")
     else begin
     let jobs = if jobs <= 0 then Prairie_service.Pool.default_jobs () else jobs in
+    let metrics =
+      match metrics_file with None -> None | Some _ -> Some (Metrics.create ())
+    in
     let catalog =
       W.Catalogs.make
         (W.Catalogs.default_spec ~classes:(max_joins + 1) ~indexed:true ~seed)
@@ -278,10 +397,10 @@ let serve_cmd =
     Printf.printf "plan service: %d requests (%d distinct), %d jobs, cache %d\n"
       (List.length batch) (List.length distinct) jobs cache_size;
     let cold, t_cold =
-      timed (fun () -> Opt.serve ?group_budget ~jobs ~cache opt batch)
+      timed (fun () -> Opt.serve ?group_budget ~jobs ~cache ?metrics opt batch)
     in
     let warm, t_warm =
-      timed (fun () -> Opt.serve ?group_budget ~jobs ~cache opt batch)
+      timed (fun () -> Opt.serve ?group_budget ~jobs ~cache ?metrics opt batch)
     in
     let summarize label served t =
       let hits = List.length (List.filter (fun s -> s.Opt.cache_hit) served) in
@@ -297,6 +416,15 @@ let serve_cmd =
     summarize "cold" cold t_cold;
     summarize "warm" warm t_warm;
     Format.printf "  cache: %a@." Opt.Plan_cache.pp_stats cache;
+    (match (metrics_file, metrics) with
+    | Some "-", Some m -> Metrics.output stdout `Prometheus m
+    | Some path, Some m ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Metrics.output oc `Prometheus m);
+      Printf.printf "  metrics written to %s\n" path
+    | _ -> ());
     `Ok ()
     end
   in
@@ -309,7 +437,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ jobs_arg $ cache_size_arg $ requests_arg $ joins_arg
-       $ seed_arg $ budget_arg $ verbose_arg))
+       $ seed_arg $ budget_arg $ metrics_arg $ verbose_arg))
 
 (* ---------------- sql ---------------- *)
 
@@ -390,4 +518,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; report_cmd; render_cmd; optimize_cmd; serve_cmd; sql_cmd ]))
+          [
+            check_cmd;
+            report_cmd;
+            render_cmd;
+            optimize_cmd;
+            trace_cmd;
+            serve_cmd;
+            sql_cmd;
+          ]))

@@ -1,0 +1,310 @@
+type hist_state = {
+  bounds : float array;  (* sorted, strictly increasing, finite *)
+  counts : int array;  (* per-bucket (non-cumulative); length bounds + 1 *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type kind =
+  | Counter of int ref
+  | Gauge of float ref
+  | Histogram of hist_state
+
+type instrument = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  kind : kind;
+  lock : Mutex.t;  (* the owning registry's mutex *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  mutable instruments : instrument list;  (* registration order, reversed *)
+}
+
+type counter = instrument
+type gauge = instrument
+type histogram = instrument
+
+let create () = { mutex = Mutex.create (); instruments = [] }
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let same_kind a b =
+  match (a, b) with
+  | Counter _, Counter _ | Gauge _, Gauge _ | Histogram _, Histogram _ -> true
+  | _ -> false
+
+let norm_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let register t ~help ~labels name fresh =
+  let labels = norm_labels labels in
+  locked t.mutex (fun () ->
+      let existing =
+        List.find_opt
+          (fun i -> String.equal i.name name && i.labels = labels)
+          t.instruments
+      in
+      match existing with
+      | Some i ->
+        let k = fresh () in
+        if not (same_kind i.kind k) then
+          invalid_arg
+            (Printf.sprintf "Metrics: %s already registered as a %s" name
+               (kind_name i.kind));
+        i
+      | None ->
+        (match
+           List.find_opt (fun i -> String.equal i.name name) t.instruments
+         with
+        | Some i when not (same_kind i.kind (fresh ())) ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s already registered as a %s" name
+               (kind_name i.kind))
+        | _ -> ());
+        let i = { name; help; labels; kind = fresh (); lock = t.mutex } in
+        t.instruments <- i :: t.instruments;
+        i)
+
+let counter t ?(help = "") ?(labels = []) name =
+  register t ~help ~labels name (fun () -> Counter (ref 0))
+
+let inc ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.inc: negative increment";
+  match c.kind with
+  | Counter r -> locked c.lock (fun () -> r := !r + by)
+  | _ -> assert false
+
+let counter_value c =
+  match c.kind with
+  | Counter r -> locked c.lock (fun () -> !r)
+  | _ -> assert false
+
+let gauge t ?(help = "") ?(labels = []) name =
+  register t ~help ~labels name (fun () -> Gauge (ref 0.0))
+
+let set g v =
+  match g.kind with
+  | Gauge r -> locked g.lock (fun () -> r := v)
+  | _ -> assert false
+
+let gauge_value g =
+  match g.kind with
+  | Gauge r -> locked g.lock (fun () -> !r)
+  | _ -> assert false
+
+let log_buckets ?(start = 1e-5) ?(factor = 2.0) ?(count = 20) () =
+  if start <= 0.0 || factor <= 1.0 || count < 1 then
+    invalid_arg "Metrics.log_buckets";
+  List.init count (fun i -> start *. (factor ** float_of_int i))
+
+let histogram t ?(help = "") ?(labels = []) ?buckets name =
+  let bounds =
+    let bs = match buckets with Some bs -> bs | None -> log_buckets () in
+    bs
+    |> List.filter Float.is_finite
+    |> List.sort_uniq Float.compare
+    |> Array.of_list
+  in
+  if Array.length bounds = 0 then invalid_arg "Metrics.histogram: no buckets";
+  register t ~help ~labels name (fun () ->
+      Histogram
+        {
+          bounds;
+          counts = Array.make (Array.length bounds + 1) 0;
+          sum = 0.0;
+          count = 0;
+        })
+
+(* index of the first bucket with [v <= bound]; the overflow bucket else *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec go lo hi =
+    (* invariant: every bound below [lo] is < v; v <= every bound >= [hi] *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if v <= bounds.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+let observe h v =
+  match h.kind with
+  | Histogram s ->
+    locked h.lock (fun () ->
+        let i = bucket_index s.bounds v in
+        s.counts.(i) <- s.counts.(i) + 1;
+        s.sum <- s.sum +. v;
+        s.count <- s.count + 1)
+  | _ -> assert false
+
+let histogram_count h =
+  match h.kind with
+  | Histogram s -> locked h.lock (fun () -> s.count)
+  | _ -> assert false
+
+let histogram_sum h =
+  match h.kind with
+  | Histogram s -> locked h.lock (fun () -> s.sum)
+  | _ -> assert false
+
+let buckets h =
+  match h.kind with
+  | Histogram s ->
+    locked h.lock (fun () ->
+        let acc = ref 0 in
+        let finite =
+          Array.to_list
+            (Array.mapi
+               (fun i ub ->
+                 acc := !acc + s.counts.(i);
+                 (ub, !acc))
+               s.bounds)
+        in
+        finite @ [ (infinity, s.count) ])
+  | _ -> assert false
+
+(* ---------------- exporters ---------------- *)
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let fmt_bound ub = if Float.is_finite ub then fmt_float ub else "+Inf"
+
+let label_block labels =
+  match labels with
+  | [] -> ""
+  | ls ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           ls)
+    ^ "}"
+
+(* instruments in registration order, grouped by metric name (a name's
+   HELP/TYPE header is printed once, before its first series) *)
+let ordered t = locked t.mutex (fun () -> List.rev t.instruments)
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      if not (Hashtbl.mem seen_header i.name) then begin
+        Hashtbl.replace seen_header i.name ();
+        if i.help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" i.name (escape_help i.help));
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" i.name (kind_name i.kind))
+      end;
+      match i.kind with
+      | Counter r ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" i.name (label_block i.labels)
+             (locked i.lock (fun () -> !r)))
+      | Gauge r ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" i.name (label_block i.labels)
+             (fmt_float (locked i.lock (fun () -> !r))))
+      | Histogram _ ->
+        let bs = buckets i and sum = histogram_sum i in
+        let count = histogram_count i in
+        List.iter
+          (fun (ub, c) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" i.name
+                 (label_block (i.labels @ [ ("le", fmt_bound ub) ]))
+                 c))
+          bs;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" i.name (label_block i.labels)
+             (fmt_float sum));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" i.name (label_block i.labels)
+             count))
+    (ordered t);
+  Buffer.contents buf
+
+let json_string = Trace.json_string
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) (json_string v))
+         labels)
+  ^ "}"
+
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun i ->
+      let line =
+        match i.kind with
+        | Counter r ->
+          Printf.sprintf "{\"name\":%s,\"type\":\"counter\",\"labels\":%s,\"value\":%d}"
+            (json_string i.name) (json_labels i.labels)
+            (locked i.lock (fun () -> !r))
+        | Gauge r ->
+          Printf.sprintf "{\"name\":%s,\"type\":\"gauge\",\"labels\":%s,\"value\":%s}"
+            (json_string i.name) (json_labels i.labels)
+            (Trace.json_float (locked i.lock (fun () -> !r)))
+        | Histogram _ ->
+          let bs = buckets i in
+          Printf.sprintf
+            "{\"name\":%s,\"type\":\"histogram\",\"labels\":%s,\"count\":%d,\"sum\":%s,\"buckets\":[%s]}"
+            (json_string i.name) (json_labels i.labels) (histogram_count i)
+            (Trace.json_float (histogram_sum i))
+            (String.concat ","
+               (List.map
+                  (fun (ub, c) ->
+                    Printf.sprintf "{\"le\":%s,\"count\":%d}"
+                      (if Float.is_finite ub then Trace.json_float ub
+                       else "\"+Inf\"")
+                      c)
+                  bs))
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    (ordered t);
+  Buffer.contents buf
+
+let output oc fmt t =
+  output_string oc
+    (match fmt with `Prometheus -> to_prometheus t | `Jsonl -> to_jsonl t)

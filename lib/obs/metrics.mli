@@ -1,0 +1,77 @@
+(** A named registry of counters, gauges and log-bucketed histograms.
+
+    Service-level telemetry for the plan service and the optimizers:
+    instruments are registered by (name, labels) — registering the same
+    pair twice returns the same instrument, so call sites can look their
+    instrument up on every request without caring who created it.  Label
+    sets make per-ruleset / per-rule / per-worker breakdowns cheap.
+
+    All mutation goes through the registry's mutex, so instruments can be
+    updated from every domain of the plan service's pool.
+
+    Two exporters: {!to_prometheus} (Prometheus text exposition format,
+    with proper label-value and help escaping) and {!to_jsonl} (one JSON
+    object per instrument per line). *)
+
+type t
+(** The registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+(** Register (or look up) a monotonic counter.
+    @raise Invalid_argument if [name] is already registered with a
+    different instrument kind. *)
+
+val inc : ?by:int -> counter -> unit
+(** Add [by] (default 1; must be [>= 0]). *)
+
+val counter_value : counter -> int
+
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val log_buckets : ?start:float -> ?factor:float -> ?count:int -> unit -> float list
+(** Exponential bucket upper bounds [start *. factor^i] for
+    [i = 0 .. count-1].  Defaults — [start:1e-5] (10µs), [factor:2.],
+    [count:20] (~5.2s) — cover optimizer latencies.  The implicit [+Inf]
+    bucket is always added by {!histogram}. *)
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?buckets:float list ->
+  string ->
+  histogram
+(** Register (or look up) a histogram with the given finite bucket upper
+    bounds (default {!log_buckets}[ ()]; sorted, deduplicated; a [+Inf]
+    bucket is appended).  An observation [v] lands in every bucket with
+    [v <= upper_bound] (cumulative, Prometheus-style). *)
+
+val observe : histogram -> float -> unit
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val buckets : histogram -> (float * int) list
+(** (upper bound, cumulative count) pairs, including the final
+    [(infinity, count)]. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format: [# HELP] / [# TYPE] per metric
+    name, label values escaped (backslash, double quote, newline),
+    histograms expanded into [_bucket{le=...}] / [_sum] / [_count]
+    series. *)
+
+val to_jsonl : t -> string
+(** One JSON object per instrument per line, carrying its name, type,
+    labels and current value (histograms: count, sum and cumulative
+    buckets). *)
+
+val output : out_channel -> [ `Prometheus | `Jsonl ] -> t -> unit

@@ -1,6 +1,8 @@
 module Descriptor = Prairie.Descriptor
 module Search = Prairie_volcano.Search
 module Plan = Prairie_volcano.Plan
+module Metrics = Prairie_obs.Metrics
+module Trace = Prairie_obs.Trace
 
 type t = {
   name : string;
@@ -47,11 +49,81 @@ let relational catalog =
   of_translation "relational"
     (Prairie_p2v.Translate.translate (relational_ruleset catalog))
 
-let optimize ?pruning ?group_budget ?(required = Descriptor.empty) t expr =
+(* ---------------- telemetry helpers ---------------- *)
+
+(* All service metric names in one place; labels carry the rule-set name so
+   several optimizers can share one registry. *)
+let m_optimize_seconds m ~ruleset =
+  Metrics.histogram m ~help:"Single-shot optimization latency"
+    ~labels:[ ("ruleset", ruleset) ] "prairie_optimize_seconds"
+
+let m_optimize_total m ~ruleset =
+  Metrics.counter m ~help:"Single-shot optimizations run"
+    ~labels:[ ("ruleset", ruleset) ] "prairie_optimize_total"
+
+let m_requests_total m ~ruleset =
+  Metrics.counter m ~help:"Plan-service requests received"
+    ~labels:[ ("ruleset", ruleset) ] "prairie_serve_requests_total"
+
+let m_searches_total m ~ruleset =
+  Metrics.counter m ~help:"Fresh Volcano searches the service ran"
+    ~labels:[ ("ruleset", ruleset) ] "prairie_serve_searches_total"
+
+let m_cache_served_total m ~ruleset =
+  Metrics.counter m
+    ~help:"Requests answered without a fresh search (cache or batch dedup)"
+    ~labels:[ ("ruleset", ruleset) ] "prairie_serve_cache_served_total"
+
+let m_dedup_ratio m ~ruleset =
+  Metrics.gauge m
+    ~help:"Last batch: fraction of requests served without a fresh search"
+    ~labels:[ ("ruleset", ruleset) ] "prairie_serve_batch_dedup_ratio"
+
+let m_search_seconds m ~ruleset =
+  Metrics.histogram m ~help:"Per-search latency inside the plan service"
+    ~labels:[ ("ruleset", ruleset) ] "prairie_serve_search_seconds"
+
+let m_batch_seconds m ~ruleset =
+  Metrics.histogram m ~help:"Whole-batch latency of Optimizers.serve"
+    ~labels:[ ("ruleset", ruleset) ] "prairie_serve_batch_seconds"
+
+let m_worker_jobs m ~ruleset ~worker =
+  Metrics.counter m ~help:"Searches completed per pool worker"
+    ~labels:[ ("ruleset", ruleset); ("worker", string_of_int worker) ]
+    "prairie_pool_worker_jobs_total"
+
+let cache_metrics m cache =
+  let s = Prairie_service.Plan_cache.stats cache in
+  let set name help v =
+    Metrics.set (Metrics.gauge m ~help name) v
+  in
+  set "prairie_plan_cache_hits" "Plan-cache lookup hits (lifetime)"
+    (float_of_int s.Prairie_service.Plan_cache.hits);
+  set "prairie_plan_cache_misses" "Plan-cache lookup misses (lifetime)"
+    (float_of_int s.Prairie_service.Plan_cache.misses);
+  set "prairie_plan_cache_evictions" "Plan-cache LRU evictions (lifetime)"
+    (float_of_int s.Prairie_service.Plan_cache.evictions);
+  set "prairie_plan_cache_entries" "Plan-cache current entry count"
+    (float_of_int (Prairie_service.Plan_cache.length cache));
+  set "prairie_plan_cache_hit_rate" "Plan-cache lifetime hit rate"
+    (Prairie_service.Plan_cache.hit_rate cache)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let optimize ?pruning ?group_budget ?(required = Descriptor.empty) ?trace
+    ?metrics t expr =
   let expr, req0 = t.prepare expr in
   let required = Descriptor.merge ~base:req0 ~overrides:required in
-  let search = Search.create ?pruning ?group_budget t.volcano in
-  let plan = Search.optimize ~required search expr in
+  let search = Search.create ?pruning ?group_budget ?trace t.volcano in
+  let plan, elapsed = timed (fun () -> Search.optimize ~required search expr) in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.inc (m_optimize_total m ~ruleset:t.name);
+    Metrics.observe (m_optimize_seconds m ~ruleset:t.name) elapsed);
   let cost = match plan with Some p -> Plan.cost p | None -> infinity in
   { plan; cost; search }
 
@@ -74,7 +146,7 @@ type served = {
   budget_hit : bool;
 }
 
-let serve ?pruning ?group_budget ?jobs ?cache t batch =
+let serve_metered ?pruning ?group_budget ?jobs ?cache ?metrics t batch =
   (* Preparation and fingerprinting are cheap; do them sequentially so the
      batch can be deduplicated before any search is dispatched. *)
   let prepared =
@@ -109,7 +181,13 @@ let serve ?pruning ?group_budget ?jobs ?cache t batch =
   in
   let optimize_one (fp, expr, required) =
     let search = Search.create ?pruning ?group_budget t.volcano in
-    let plan = Search.optimize ~required search expr in
+    let plan, elapsed =
+      timed (fun () -> Search.optimize ~required search expr)
+    in
+    (match metrics with
+    | None -> ()
+    | Some m ->
+      Metrics.observe (m_search_seconds m ~ruleset:t.name) elapsed);
     let cost = match plan with Some p -> Plan.cost p | None -> infinity in
     let entry =
       {
@@ -124,9 +202,15 @@ let serve ?pruning ?group_budget ?jobs ?cache t batch =
     | None -> ());
     (fp, entry)
   in
+  let on_item =
+    match metrics with
+    | None -> None
+    | Some m ->
+      Some (fun ~worker -> Metrics.inc (m_worker_jobs m ~ruleset:t.name ~worker))
+  in
   List.iter
     (fun (fp, entry) -> Hashtbl.add resolved fp entry)
-    (Pool.map ?jobs optimize_one jobs_list);
+    (Pool.map ?jobs ?on_item optimize_one jobs_list);
   (* The first request carrying a freshly-searched fingerprint paid for the
      search; every other request was served from shared state. *)
   let owned = Hashtbl.create 16 in
@@ -146,3 +230,25 @@ let serve ?pruning ?group_budget ?jobs ?cache t batch =
         budget_hit = entry.Plan_cache.budget_hit;
       })
     prepared
+
+let serve ?pruning ?group_budget ?jobs ?cache ?metrics t batch =
+  let served, elapsed =
+    timed (fun () ->
+        serve_metered ?pruning ?group_budget ?jobs ?cache ?metrics t batch)
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    let requests = List.length served in
+    let fresh =
+      List.length (List.filter (fun s -> not s.cache_hit) served)
+    in
+    Metrics.inc ~by:requests (m_requests_total m ~ruleset:t.name);
+    Metrics.inc ~by:fresh (m_searches_total m ~ruleset:t.name);
+    Metrics.inc ~by:(requests - fresh) (m_cache_served_total m ~ruleset:t.name);
+    Metrics.set (m_dedup_ratio m ~ruleset:t.name)
+      (if requests = 0 then 0.0
+       else float_of_int (requests - fresh) /. float_of_int requests);
+    Metrics.observe (m_batch_seconds m ~ruleset:t.name) elapsed;
+    match cache with Some c -> cache_metrics m c | None -> ());
+  served

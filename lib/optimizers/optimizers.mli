@@ -43,12 +43,20 @@ val optimize :
   ?pruning:bool ->
   ?group_budget:int ->
   ?required:Prairie.Descriptor.t ->
+  ?trace:Prairie_obs.Trace.t ->
+  ?metrics:Prairie_obs.Metrics.t ->
   t ->
   Prairie.Expr.t ->
   outcome
 (** Prepare the query, run the search from a fresh memo and return the
     best plan with the search context (for group counts and rule-match
-    statistics). *)
+    statistics).
+
+    [trace] attaches a structured event sink to the search (see
+    {!Prairie_volcano.Search.create} and {!Prairie_volcano.Explain.trace});
+    [metrics] records the optimization into [prairie_optimize_seconds] /
+    [prairie_optimize_total] (labelled by rule-set name).  Both default to
+    off, with one [Option] check of overhead. *)
 
 (** {1 The parallel plan service}
 
@@ -86,6 +94,7 @@ val serve :
   ?group_budget:int ->
   ?jobs:int ->
   ?cache:Plan_cache.t ->
+  ?metrics:Prairie_obs.Metrics.t ->
   t ->
   request list ->
   served list
@@ -94,4 +103,12 @@ val serve :
     consulted before and populated after every search; omitting it still
     deduplicates within the batch.  [group_budget] is the per-request
     budget: an over-large query degrades gracefully instead of stalling a
-    worker (see {!Prairie_volcano.Search.create}). *)
+    worker (see {!Prairie_volcano.Search.create}).
+
+    [metrics] records service telemetry into the given registry (all
+    labelled with the rule-set name; see docs/OBSERVABILITY.md):
+    request/search/cache-served counters, the last batch's dedup ratio,
+    per-search and per-batch latency histograms
+    ([prairie_serve_search_seconds], [prairie_serve_batch_seconds]),
+    per-worker job counts ([prairie_pool_worker_jobs_total]) and — when
+    [cache] is supplied — plan-cache size/hit-rate gauges. *)

@@ -2,31 +2,41 @@ let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
 
 exception Stop
 
-let map ?jobs f items =
+let no_notify ~worker:_ = ()
+
+let map ?jobs ?(on_item = no_notify) f items =
   let arr = Array.of_list items in
   let n = Array.length arr in
   let jobs =
     let j = match jobs with Some j -> max 1 j | None -> default_jobs () in
     min j n
   in
-  if jobs <= 1 || n <= 1 then List.map f items
+  if jobs <= 1 || n <= 1 then
+    List.map
+      (fun x ->
+        let v = f x in
+        on_item ~worker:0;
+        v)
+      items
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let error = Atomic.make None in
-    let worker () =
+    let worker w () =
       try
         while true do
           let i = Atomic.fetch_and_add next 1 in
           if i >= n || Atomic.get error <> None then raise Stop;
           match f arr.(i) with
-          | v -> results.(i) <- Some v
+          | v ->
+            results.(i) <- Some v;
+            on_item ~worker:w
           | exception e -> ignore (Atomic.compare_and_set error None (Some e))
         done
       with Stop -> ()
     in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let domains = List.init (jobs - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+    worker 0 ();
     List.iter Domain.join domains;
     match Atomic.get error with
     | Some e -> raise e

@@ -11,9 +11,16 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], capped at 8 — the sweet spot for
     optimizer workloads whose working sets are memo-sized, not data-sized. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?jobs:int -> ?on_item:(worker:int -> unit) -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map with [jobs] workers (default
     {!default_jobs}; the calling domain counts as one worker, so [jobs:1]
     — or a batch of one — degenerates to [List.map] with no domain spawned).
     If [f] raises, remaining items are abandoned, all workers are joined,
-    and the first exception observed is re-raised in the caller. *)
+    and the first exception observed is re-raised in the caller.
+
+    [on_item ~worker] is called after each completed item, {e in the
+    worker's domain}, with the worker's index (the calling domain is
+    worker [0]) — the hook per-worker job-count telemetry hangs off.  It
+    must be thread-safe; exceptions from it are treated like exceptions
+    from [f]. *)

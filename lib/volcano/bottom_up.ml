@@ -208,7 +208,7 @@ let optimize_in ctx g0 ~required =
     plans_costed = !plans_costed;
   }
 
-let optimize ?(required = Descriptor.empty) rules expr =
-  let ctx = Search.create rules in
+let optimize ?(required = Descriptor.empty) ?trace rules expr =
+  let ctx = Search.create ?trace rules in
   let g0 = Memo.insert_expr (Search.memo ctx) expr in
   optimize_in ctx g0 ~required

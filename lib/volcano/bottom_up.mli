@@ -29,10 +29,14 @@ type result = {
 
 val optimize :
   ?required:Prairie.Descriptor.t ->
+  ?trace:Prairie_obs.Trace.t ->
   Rule.ruleset ->
   Prairie.Expr.t ->
   result
-(** Run the full bottom-up optimization from a fresh memo. *)
+(** Run the full bottom-up optimization from a fresh memo.  [trace]
+    receives the exploration-phase events (group creation/merges, trans
+    rule matches/applications/rejections); the DP phase keeps its own
+    bookkeeping and does not emit per-plan events. *)
 
 val optimize_in :
   Search.t -> Memo.gid -> required:Prairie.Descriptor.t -> result

@@ -75,3 +75,147 @@ let summary plan =
   in
   Printf.sprintf "cost %.2f, ~%s rows, algorithms: %s" (Plan.cost plan) rows
     (String.concat ", " (Plan.algorithms plan))
+
+(* ------------------------------------------------------------------ *)
+(* Trace rendering: the per-rule account of a recorded search          *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Prairie_obs.Trace
+module SMap = Map.Make (String)
+
+type rule_account = {
+  mutable matched : int;  (* match events (>=1 binding each) *)
+  mutable bindings : int;  (* total bindings over all matches *)
+  mutable applied : int;
+  mutable rej_test : int;
+  mutable rej_pruned : int;
+  mutable rej_budget : int;
+  mutable rej_no_input : int;
+}
+
+let account map rule =
+  match SMap.find_opt rule !map with
+  | Some a -> a
+  | None ->
+    let a =
+      {
+        matched = 0;
+        bindings = 0;
+        applied = 0;
+        rej_test = 0;
+        rej_pruned = 0;
+        rej_budget = 0;
+        rej_no_input = 0;
+      }
+    in
+    map := SMap.add rule a !map;
+    a
+
+let record_rejection a = function
+  | Trace.Test_failed -> a.rej_test <- a.rej_test + 1
+  | Trace.Pruned _ -> a.rej_pruned <- a.rej_pruned + 1
+  | Trace.Budget_exhausted -> a.rej_budget <- a.rej_budget + 1
+  | Trace.No_input_plan -> a.rej_no_input <- a.rej_no_input + 1
+
+let rejection_note a =
+  let parts =
+    List.filter
+      (fun (n, _) -> n > 0)
+      [
+        (a.rej_test, "test failed");
+        (a.rej_pruned, "pruned by cost limit");
+        (a.rej_budget, "budget exhausted");
+        (a.rej_no_input, "no input plan");
+      ]
+  in
+  String.concat ", "
+    (List.map (fun (n, label) -> Printf.sprintf "%d× %s" n label) parts)
+
+let pp_accounts ppf kind map =
+  if not (SMap.is_empty map) then begin
+    Format.fprintf ppf "@,@[<v 2>%s rules:" kind;
+    Format.fprintf ppf "@,%-28s %8s %8s %8s  %s" "rule" "matched" "applied"
+      "rejected" "rejection reasons";
+    (* trans matches carry a binding count (one cond test per binding);
+       impl matches are one test each — report the tested bindings so
+       applied + rejected(test) adds up *)
+    let tested a = if a.bindings > 0 then a.bindings else a.matched in
+    SMap.iter
+      (fun rule a ->
+        let rejected =
+          a.rej_test + a.rej_pruned + a.rej_budget + a.rej_no_input
+        in
+        Format.fprintf ppf "@,%-28s %8d %8d %8d  %s" rule (tested a) a.applied
+          rejected
+          (if rejected = 0 then "-" else rejection_note a))
+      map;
+    (* the debugging story: rules that matched but never produced a plan *)
+    SMap.iter
+      (fun rule a ->
+        if a.matched > 0 && a.applied = 0 then
+          Format.fprintf ppf
+            "@,%s matched %d time%s but never applied: %s" rule (tested a)
+            (if tested a = 1 then "" else "s")
+            (rejection_note a))
+      map;
+    Format.fprintf ppf "@]"
+  end
+
+let trace ppf (tr : Trace.t) =
+  let trans = ref SMap.empty and impl = ref SMap.empty in
+  let groups_created = ref 0
+  and merges = ref 0
+  and memo_hits = ref 0
+  and enforcers = ref 0
+  and winner_changes = ref 0
+  and budget = ref None in
+  let final_winner : (string * float) option ref = ref None in
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Trace.Group_created _ -> incr groups_created
+      | Trace.Groups_merged _ -> incr merges
+      | Trace.Trans_matched { rule; bindings; _ } ->
+        let a = account trans rule in
+        a.matched <- a.matched + 1;
+        a.bindings <- a.bindings + bindings
+      | Trace.Trans_applied { rule; _ } ->
+        (account trans rule).applied <- (account trans rule).applied + 1
+      | Trace.Trans_rejected { rule; reason; _ } ->
+        record_rejection (account trans rule) reason
+      | Trace.Impl_matched { rule; _ } ->
+        let a = account impl rule in
+        a.matched <- a.matched + 1
+      | Trace.Impl_applied { rule; _ } ->
+        (account impl rule).applied <- (account impl rule).applied + 1
+      | Trace.Impl_rejected { rule; reason; _ } ->
+        record_rejection (account impl rule) reason
+      | Trace.Enforcer_inserted _ -> incr enforcers
+      | Trace.Memo_hit _ -> incr memo_hits
+      | Trace.Winner_changed { alg; new_cost; _ } ->
+        incr winner_changes;
+        final_winner := Some (alg, new_cost)
+      | Trace.Budget_hit { groups } -> budget := Some groups)
+    (Trace.events tr);
+  Format.fprintf ppf "@[<v>search trace: %d events (%d dropped)"
+    (Trace.seq tr) (Trace.dropped tr);
+  Format.fprintf ppf
+    "@,%d groups created, %d merged, %d memo hits, %d enforcer insertions, \
+     %d winner changes"
+    !groups_created !merges !memo_hits !enforcers !winner_changes;
+  (match !budget with
+  | Some groups ->
+    Format.fprintf ppf
+      "@,group budget exhausted at %d groups: exploration was capped and \
+       the plan may be sub-optimal"
+      groups
+  | None -> ());
+  pp_accounts ppf "transformation" !trans;
+  pp_accounts ppf "implementation" !impl;
+  (match !final_winner with
+  | Some (alg, cost) ->
+    Format.fprintf ppf "@,last winner: %s at cost %.2f" alg cost
+  | None -> Format.fprintf ppf "@,no winner was ever recorded");
+  Format.fprintf ppf "@]"
+
+let trace_to_string tr = Format.asprintf "%a" trace tr

@@ -20,3 +20,16 @@ val to_string : Plan.t -> string
 
 val summary : Plan.t -> string
 (** One line: total cost, result cardinality, algorithms used. *)
+
+val trace : Format.formatter -> Prairie_obs.Trace.t -> unit
+(** The per-rule account of a recorded search (see
+    {!Search.create}[ ~trace]): how often each transformation and
+    implementation rule matched, applied, and was rejected — with the
+    rejection reasons (test failed / pruned by cost limit / budget
+    exhausted / no input plan) — plus group, memo-hit, enforcer and
+    winner-change totals.  Rules that matched but never applied are
+    called out explicitly: this is the "why did rule X never fire"
+    answer.  Events dropped by the ring buffer are reported but cannot
+    be accounted. *)
+
+val trace_to_string : Prairie_obs.Trace.t -> string

@@ -1,5 +1,6 @@
 module Descriptor = Prairie.Descriptor
 module Expr = Prairie.Expr
+module Trace = Prairie_obs.Trace
 
 type gid = int
 
@@ -55,9 +56,10 @@ type t = {
   index : (int * gid) Ktbl.t;  (** dedup: key -> (lexpr id, group) *)
   tried : (int * string, unit) Hashtbl.t;
   stats : Stats.t;
+  trace : Trace.t option;
 }
 
-let create ?(stats = Stats.create ()) () =
+let create ?(stats = Stats.create ()) ?trace () =
   {
     parents = Hashtbl.create 64;
     groups = Hashtbl.create 64;
@@ -66,7 +68,13 @@ let create ?(stats = Stats.create ()) () =
     index = Ktbl.create 256;
     tried = Hashtbl.create 256;
     stats;
+    trace;
   }
+
+(* Single Option check on the disabled path; the event is only allocated
+   when a sink is attached. *)
+let emit t ev =
+  match t.trace with None -> () | Some tr -> Trace.emit tr (ev ())
 
 let stats t = t.stats
 
@@ -125,6 +133,7 @@ let fresh_group t desc =
   t.next_gid <- t.next_gid + 1;
   Hashtbl.replace t.groups g.g_id g;
   t.stats.Stats.groups_created <- t.stats.Stats.groups_created + 1;
+  emit t (fun () -> Trace.Group_created { gid = g.g_id });
   g
 
 let key_of t node arg inputs =
@@ -147,6 +156,7 @@ let rec merge t a b =
     gs.exploring <- gs.exploring || gd.exploring;
     gs.winners <- [];
     t.stats.Stats.groups_merged <- t.stats.Stats.groups_merged + 1;
+    emit t (fun () -> Trace.Groups_merged { survivor; dead });
     normalize t;
     canonical t survivor
   end

@@ -32,7 +32,9 @@ type gtree =
 
 type t
 
-val create : ?stats:Stats.t -> unit -> t
+val create : ?stats:Stats.t -> ?trace:Prairie_obs.Trace.t -> unit -> t
+(** [trace] receives [Group_created] / [Groups_merged] events; when absent
+    (the default) the only per-event cost is one [Option] check. *)
 
 val stats : t -> Stats.t
 

@@ -1,5 +1,6 @@
 module Descriptor = Prairie.Descriptor
 module Pattern = Prairie.Pattern
+module Trace = Prairie_obs.Trace
 
 (* tracing: enable with Logs.Src.set_level Search.log_src (Some Debug) *)
 let log_src = Logs.Src.create "prairie.search" ~doc:"Volcano search tracing"
@@ -13,18 +14,25 @@ type t = {
   pruning : bool;
   group_budget : int option;
   mutable budget_hit : bool;
+  trace : Trace.t option;
 }
 
-let create ?(pruning = true) ?group_budget rules =
+let create ?(pruning = true) ?group_budget ?trace rules =
   let st = Stats.create () in
   {
-    memo = Memo.create ~stats:st ();
+    memo = Memo.create ~stats:st ?trace ();
     rules;
     st;
     pruning;
     group_budget;
     budget_hit = false;
+    trace;
   }
+
+(* Single Option check when no sink is attached; events are allocated only
+   inside the [Some] branch. *)
+let emit ctx ev =
+  match ctx.trace with None -> () | Some tr -> Trace.emit tr (ev ())
 
 let budget_exhausted t =
   match t.group_budget with
@@ -33,6 +41,7 @@ let budget_exhausted t =
     let hit = Memo.group_count t.memo >= budget in
     if hit && not t.budget_hit then begin
       t.budget_hit <- true;
+      emit t (fun () -> Trace.Budget_hit { groups = Memo.group_count t.memo });
       Log.debug (fun m -> m "group budget of %d reached; exploration capped" budget)
     end;
     hit
@@ -84,14 +93,32 @@ let rec explore ctx gid =
               if not (Memo.rule_tried ctx.memo le tr.tr_name) then begin
                 Memo.mark_rule_tried ctx.memo le tr.tr_name;
                 let envs = match_lexpr ctx tr.tr_lhs le empty_menv in
-                if envs <> [] then Stats.record_trans_match ctx.st tr.tr_name;
+                if envs <> [] then begin
+                  Stats.record_trans_match ctx.st tr.tr_name;
+                  emit ctx (fun () ->
+                      Trace.Trans_matched
+                        {
+                          rule = tr.tr_name;
+                          gid = g;
+                          bindings = List.length envs;
+                        })
+                end;
                 List.iter
                   (fun env ->
                     match tr.tr_cond env.descs with
-                    | None -> ()
+                    | None ->
+                      emit ctx (fun () ->
+                          Trace.Trans_rejected
+                            {
+                              rule = tr.tr_name;
+                              gid = g;
+                              reason = Trace.Test_failed;
+                            })
                     | Some descs ->
                       let descs = tr.tr_appl descs in
                       Stats.record_trans_applied ctx.st tr.tr_name;
+                      emit ctx (fun () ->
+                          Trace.Trans_applied { rule = tr.tr_name; gid = g });
                       Log.debug (fun m ->
                           m "group %d: trans rule %s fired" g tr.tr_name);
                       ctx.st.Stats.trans_applications <-
@@ -163,10 +190,12 @@ let rec optimize_group ctx gid ~req ~limit : Plan.t option =
   match Memo.find_winner ctx.memo g req with
   | Some { plan = Some p; cost; _ } ->
     ctx.st.Stats.memo_hits <- ctx.st.Stats.memo_hits + 1;
+    emit ctx (fun () -> Trace.Memo_hit { gid = g });
     if (not ctx.pruning) || cost <= limit then Some p else None
   | Some { plan = None; searched_limit; _ }
     when (not ctx.pruning) || limit <= searched_limit ->
     ctx.st.Stats.memo_hits <- ctx.st.Stats.memo_hits + 1;
+    emit ctx (fun () -> Trace.Memo_hit { gid = g });
     None
   | Some _ | None -> search_group ctx g ~req ~limit
 
@@ -185,7 +214,19 @@ and search_group ctx g ~req ~limit =
     then
       match !best with
       | Some (_, c) when c <= cost -> ()
-      | _ -> best := Some (plan, cost)
+      | prev ->
+        emit ctx (fun () ->
+            Trace.Winner_changed
+              {
+                gid = g;
+                alg =
+                  (match plan with
+                  | Plan.Alg (a, _, _) -> a
+                  | Plan.Leaf (n, _) -> n);
+                old_cost = Option.map snd prev;
+                new_cost = cost;
+              });
+        best := Some (plan, cost)
   in
   let members = Memo.lexprs ctx.memo g in
   let files_only =
@@ -211,6 +252,8 @@ and search_group ctx g ~req ~limit =
               in
               ctx.st.Stats.enforcer_firings <-
                 ctx.st.Stats.enforcer_firings + 1;
+              emit ctx (fun () ->
+                  Trace.Enforcer_inserted { alg = en.Rule.en_alg; gid = g });
               consider (Plan.Alg (en.Rule.en_alg, desc, [ sub ])) (Descriptor.cost desc)
         end)
       ctx.rules.Rule.rs_enforcers;
@@ -227,7 +270,7 @@ and search_group ctx g ~req ~limit =
   | Some (plan, cost) when (not ctx.pruning) || cost <= limit -> Some plan
   | Some _ | None -> None
 
-and cost_lexpr ctx _g le ~req ~budget ~consider =
+and cost_lexpr ctx g le ~req ~budget ~consider =
   match le.Memo.node with
   | Memo.L_file name ->
     (* A stored file delivers its catalog properties at no cost. *)
@@ -237,12 +280,24 @@ and cost_lexpr ctx _g le ~req ~budget ~consider =
       (fun (ir : Rule.impl_rule) ->
         if ir.Rule.ir_arity = Array.length le.Memo.inputs then begin
           Stats.record_impl_match ctx.st ir.Rule.ir_name;
+          emit ctx (fun () ->
+              Trace.Impl_matched { rule = ir.Rule.ir_name; gid = g });
           let input_descs =
             Array.map (Memo.group_desc ctx.memo) le.Memo.inputs
           in
-          if ir.Rule.ir_cond ~op_arg:le.Memo.arg ~req ~inputs:input_descs
-          then begin
+          if not (ir.Rule.ir_cond ~op_arg:le.Memo.arg ~req ~inputs:input_descs)
+          then
+            emit ctx (fun () ->
+                Trace.Impl_rejected
+                  {
+                    rule = ir.Rule.ir_name;
+                    gid = g;
+                    reason = Trace.Test_failed;
+                  })
+          else begin
             Stats.record_impl_applied ctx.st ir.Rule.ir_name;
+            emit ctx (fun () ->
+                Trace.Impl_applied { rule = ir.Rule.ir_name; gid = g });
             let reqs =
               ir.Rule.ir_input_reqs ~op_arg:le.Memo.arg ~req ~inputs:input_descs
             in
@@ -258,6 +313,13 @@ and cost_lexpr ctx _g le ~req ~budget ~consider =
               in
               (if ctx.pruning && sub_limit < 0.0 then begin
                  ctx.st.Stats.pruned <- ctx.st.Stats.pruned + 1;
+                 emit ctx (fun () ->
+                     Trace.Impl_rejected
+                       {
+                         rule = ir.Rule.ir_name;
+                         gid = g;
+                         reason = Trace.Pruned sub_limit;
+                       });
                  ok := false
                end
                else
@@ -268,6 +330,15 @@ and cost_lexpr ctx _g le ~req ~budget ~consider =
                  | None ->
                    if ctx.pruning then
                      ctx.st.Stats.pruned <- ctx.st.Stats.pruned + 1;
+                   emit ctx (fun () ->
+                       Trace.Impl_rejected
+                         {
+                           rule = ir.Rule.ir_name;
+                           gid = g;
+                           reason =
+                             (if ctx.pruning then Trace.Pruned sub_limit
+                              else Trace.No_input_plan);
+                         });
                    ok := false
                  | Some p ->
                    plans.(!i) <- Some p;

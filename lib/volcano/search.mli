@@ -13,10 +13,22 @@ val log_src : Logs.src
 (** Debug-level tracing of exploration, rule firings and winners; enable
     with [Logs.Src.set_level Search.log_src (Some Logs.Debug)]. *)
 
-val create : ?pruning:bool -> ?group_budget:int -> Rule.ruleset -> t
+val create :
+  ?pruning:bool ->
+  ?group_budget:int ->
+  ?trace:Prairie_obs.Trace.t ->
+  Rule.ruleset ->
+  t
 (** A fresh search context with an empty memo.  [pruning] (default [true])
     enables branch-and-bound cost limits; disabling it is the
     [ablation-bounding] experiment.
+
+    [trace] attaches a structured event sink recording the whole search:
+    group creation/merges, rule matches, applications and rejections with
+    reasons, enforcer insertions, memo hits and winner changes (render
+    with {!Explain.trace}).  When absent — the default — each potential
+    event costs a single [Option] check and no allocation, so the
+    instrumented engine stays within noise of the uninstrumented one.
 
     [group_budget] is the heuristic the paper's conclusion calls for
     ("extensibility must be judiciously coupled with user heuristics to

@@ -1,0 +1,109 @@
+(* Search.Stats: the counters behind Table 5 and the bench sections.
+   Regression tests for [reset] (every field, scalar and set-valued) and
+   for the [pp] rendering the service console prints. *)
+
+module Stats = Prairie_volcano.Stats
+
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* A value with every field distinct and non-zero, so a missed field in
+   [reset] cannot hide behind a zero or a twin. *)
+let populated () =
+  let t = Stats.create () in
+  t.Stats.groups_created <- 1;
+  t.Stats.groups_merged <- 2;
+  t.Stats.lexprs_created <- 3;
+  t.Stats.lexpr_duplicates <- 4;
+  t.Stats.trans_applications <- 5;
+  t.Stats.impl_firings <- 6;
+  t.Stats.enforcer_firings <- 7;
+  t.Stats.memo_hits <- 8;
+  t.Stats.optimize_calls <- 9;
+  t.Stats.pruned <- 10;
+  Stats.record_trans_match t "t1";
+  Stats.record_trans_match t "t2";
+  Stats.record_impl_match t "i1";
+  Stats.record_trans_applied t "t1";
+  Stats.record_impl_applied t "i1";
+  t
+
+let test_reset_scalars () =
+  let t = populated () in
+  Stats.reset t;
+  checki "groups_created" 0 t.Stats.groups_created;
+  checki "groups_merged" 0 t.Stats.groups_merged;
+  checki "lexprs_created" 0 t.Stats.lexprs_created;
+  checki "lexpr_duplicates" 0 t.Stats.lexpr_duplicates;
+  checki "trans_applications" 0 t.Stats.trans_applications;
+  checki "impl_firings" 0 t.Stats.impl_firings;
+  checki "enforcer_firings" 0 t.Stats.enforcer_firings;
+  checki "memo_hits" 0 t.Stats.memo_hits;
+  checki "optimize_calls" 0 t.Stats.optimize_calls;
+  checki "pruned" 0 t.Stats.pruned
+
+let test_reset_rule_sets () =
+  let t = populated () in
+  checki "trans matched before" 2 (Stats.trans_matched_count t);
+  Stats.reset t;
+  checki "trans_matched" 0 (Stats.trans_matched_count t);
+  checki "impl_matched" 0 (Stats.impl_matched_count t);
+  checki "trans_applied" 0 (Stats.trans_applied_count t);
+  checki "impl_applied" 0 (Stats.impl_applied_count t);
+  Alcotest.(check (list string)) "names gone" [] (Stats.trans_matched_names t);
+  (* the value is reusable after reset *)
+  Stats.record_trans_match t "t9";
+  checki "records again" 1 (Stats.trans_matched_count t);
+  Alcotest.(check (list string)) "fresh names" [ "t9" ]
+    (Stats.trans_matched_names t)
+
+let test_rule_sets_distinct () =
+  let t = Stats.create () in
+  Stats.record_trans_match t "r";
+  Stats.record_trans_match t "r";
+  Stats.record_trans_match t "r";
+  checki "set semantics, not a counter" 1 (Stats.trans_matched_count t);
+  (* the four sets are independent *)
+  checki "impl untouched" 0 (Stats.impl_matched_count t);
+  checki "applied untouched" 0 (Stats.trans_applied_count t);
+  Stats.record_impl_match t "r";
+  checki "same name in two sets" 1 (Stats.impl_matched_count t)
+
+(* The exact rendering: the bench tables and the service console parse by
+   eye, so the shape is part of the interface. *)
+let test_pp_stability () =
+  let t = populated () in
+  checks "pp format"
+    "groups: 1 (merged 2)\n\
+     logical expressions: 3 (dups 4)\n\
+     trans applications: 5 (distinct matched 2)\n\
+     impl firings: 6 (distinct matched 1)\n\
+     enforcer firings: 7\n\
+     memo hits: 8\n\
+     optimize calls: 9\n\
+     pruned: 10"
+    (Format.asprintf "%a" Stats.pp t);
+  Stats.reset t;
+  checks "pp of a fresh value"
+    "groups: 0 (merged 0)\n\
+     logical expressions: 0 (dups 0)\n\
+     trans applications: 0 (distinct matched 0)\n\
+     impl firings: 0 (distinct matched 0)\n\
+     enforcer firings: 0\n\
+     memo hits: 0\n\
+     optimize calls: 0\n\
+     pruned: 0"
+    (Format.asprintf "%a" Stats.pp t)
+
+let suites =
+  [
+    ( "stats",
+      [
+        Alcotest.test_case "reset clears every scalar" `Quick
+          test_reset_scalars;
+        Alcotest.test_case "reset clears the rule sets" `Quick
+          test_reset_rule_sets;
+        Alcotest.test_case "rule sets are sets" `Quick test_rule_sets_distinct;
+        Alcotest.test_case "pp output is stable" `Quick test_pp_stability;
+      ] );
+  ]
