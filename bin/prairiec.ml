@@ -2,6 +2,7 @@
 
    Subcommands:
      check    parse and validate a .prairie file
+     lint     static analysis: structured diagnostics with stable codes
      report   run the P2V pre-processor and print the translation report
      render   export an embedded rule set as .prairie source
      optimize run a workload query through a rule set
@@ -76,6 +77,102 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Parse and validate a rule-specification file.")
     Term.(ret (const run $ file_arg))
+
+(* ---------------- lint ---------------- *)
+
+let lint_cmd =
+  let module Lint = Prairie_lint.Lint in
+  let module Diag = Prairie.Diagnostic in
+  let files_arg =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Rule-specification files (.prairie).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let max_warnings_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-warnings" ] ~docv:"N"
+          ~doc:"Fail (exit 2) when more than $(docv) warnings are found.")
+  in
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  in
+  let run files format max_warnings =
+    let helpers = Prairie_algebra.Helpers.env (default_catalog ()) in
+    let results =
+      List.map (fun path -> (path, Lint.lint_file ~helpers path)) files
+    in
+    let totals (_, ds) = Lint.summary ds in
+    let total_errors =
+      List.fold_left (fun n r -> n + (fun (e, _, _) -> e) (totals r)) 0 results
+    in
+    let total_warnings =
+      List.fold_left (fun n r -> n + (fun (_, w, _) -> w) (totals r)) 0 results
+    in
+    (match format with
+    | `Text ->
+      List.iter
+        (fun (path, ds) ->
+          match ds with
+          | [] -> Printf.printf "%s: clean\n" path
+          | ds ->
+            List.iter
+              (fun d -> Printf.printf "%s: %s\n" path (Diag.to_string d))
+              ds)
+        results;
+      if total_errors > 0 || total_warnings > 0 then
+        Printf.printf "%d error(s), %d warning(s)\n" total_errors total_warnings
+    | `Json ->
+      let file_json (path, ds) =
+        let e, w, _ = Lint.summary ds in
+        Printf.sprintf
+          "{\"file\":\"%s\",\"diagnostics\":[%s],\"errors\":%d,\"warnings\":%d}"
+          (json_escape path)
+          (String.concat "," (List.map Diag.to_json ds))
+          e w
+      in
+      Printf.printf
+        "{\"files\":[%s],\"total_errors\":%d,\"total_warnings\":%d}\n"
+        (String.concat "," (List.map file_json results))
+        total_errors total_warnings);
+    if total_errors > 0 then exit 1;
+    (match max_warnings with
+    | Some n when total_warnings > n ->
+      Printf.eprintf "too many warnings: %d (allowed: %d)\n" total_warnings n;
+      exit 2
+    | _ -> ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze rule-specification files: declaration, binding, \
+          property-classification, termination and enforcer checks with \
+          stable diagnostic codes (P001...). Exits 1 on errors, 2 when \
+          $(b,--max-warnings) is exceeded.")
+    Term.(ret (const run $ files_arg $ format_arg $ max_warnings_arg))
 
 (* ---------------- report ---------------- *)
 
@@ -520,6 +617,7 @@ let () =
        (Cmd.group info
           [
             check_cmd;
+            lint_cmd;
             report_cmd;
             render_cmd;
             optimize_cmd;

@@ -1,0 +1,118 @@
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type span = {
+  line : int;
+  column : int;
+}
+
+type t = {
+  code : string;
+  severity : severity;
+  rule : string option;
+  span : span option;
+  message : string;
+  hint : string option;
+}
+
+let make ?(severity = Error) ?rule ?span ?hint ~code message =
+  { code; severity; rule; span; message; hint }
+
+let error = make ~severity:Error
+let warning = make ~severity:Warning
+let info = make ~severity:Info
+let is_error d = d.severity = Error
+let is_warning d = d.severity = Warning
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare_span a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> 1 (* spanless diagnostics sort after located ones *)
+  | Some _, None -> -1
+  | Some x, Some y ->
+    let c = Int.compare x.line y.line in
+    if c <> 0 then c else Int.compare x.column y.column
+
+(* Stable report order: source position, then severity, code, rule and
+   message.  Total, so [List.sort_uniq compare] both orders and dedupes. *)
+let compare a b =
+  let c = compare_span a.span b.span in
+  if c <> 0 then c
+  else
+    let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+    if c <> 0 then c
+    else
+      let c = String.compare a.code b.code in
+      if c <> 0 then c
+      else
+        let c = Option.compare String.compare a.rule b.rule in
+        if c <> 0 then c
+        else
+          let c = String.compare a.message b.message in
+          if c <> 0 then c else Option.compare String.compare a.hint b.hint
+
+let normalize ds = List.sort_uniq compare ds
+let errors ds = List.filter is_error ds
+let warnings ds = List.filter is_warning ds
+
+let to_string d =
+  let b = Buffer.create 80 in
+  Buffer.add_string b (severity_to_string d.severity);
+  Buffer.add_string b ("[" ^ d.code ^ "]");
+  (match d.span with
+  | Some s -> Buffer.add_string b (Printf.sprintf " %d:%d" s.line s.column)
+  | None -> ());
+  (match d.rule with
+  | Some r -> Buffer.add_string b (" (" ^ r ^ ")")
+  | None -> ());
+  Buffer.add_string b (": " ^ d.message);
+  (match d.hint with
+  | Some h -> Buffer.add_string b ("\n  hint: " ^ h)
+  | None -> ());
+  Buffer.contents b
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json d =
+  let fields =
+    [
+      Some (Printf.sprintf "\"code\":%s" (json_string d.code));
+      Some
+        (Printf.sprintf "\"severity\":%s"
+           (json_string (severity_to_string d.severity)));
+      Option.map (fun r -> Printf.sprintf "\"rule\":%s" (json_string r)) d.rule;
+      Option.map
+        (fun s -> Printf.sprintf "\"line\":%d,\"column\":%d" s.line s.column)
+        d.span;
+      Some (Printf.sprintf "\"message\":%s" (json_string d.message));
+      Option.map (fun h -> Printf.sprintf "\"hint\":%s" (json_string h)) d.hint;
+    ]
+  in
+  "{" ^ String.concat "," (List.filter_map Fun.id fields) ^ "}"

@@ -2,6 +2,7 @@ module Trule = Prairie.Trule
 module Irule = Prairie.Irule
 module Action = Prairie.Action
 module Pattern = Prairie.Pattern
+module Diagnostic = Prairie.Diagnostic
 
 type result = {
   source : Prairie.Ruleset.t;
@@ -10,7 +11,7 @@ type result = {
   impl_irules : Irule.t list;
   dropped_operators : string list;
   composed : (string * string) list;
-  warnings : string list;
+  warnings : Diagnostic.t list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -33,7 +34,7 @@ let rec strip_tmpl ~is_enf ~warn ~root tmpl =
        whenever a requirement demands it.  Deeper occurrences lose their
        requirement, which deserves a warning. *)
     if not root then
-      warn
+      warn ~code:"P101"
         (Printf.sprintf
            "enforcer-operator %s (descriptor %s) wraps an interior \
             subexpression; deleting the node loses its requirement"
@@ -47,7 +48,7 @@ let rec strip_pat ~is_enf ~warn pat =
   match pat with
   | Pattern.Pvar _ -> pat
   | Pattern.Pop (name, dvar, [ sub ]) when is_enf name ->
-    warn
+    warn ~code:"P102"
       (Printf.sprintf
          "enforcer-operator %s (descriptor %s) occurs on a rule LHS; the \
           node is deleted"
@@ -154,7 +155,8 @@ let rec props_read_from dvar (e : Action.expr) =
   | Action.Unop (_, a) -> props_read_from dvar a
 
 (* Compose a rename T-rule with one I-rule of the introduced operator. *)
-let compose_rules ~warn (rn : rename) (r : Irule.t) : Irule.t option =
+let compose_rules ~(warn : ?rule:string -> code:string -> string -> unit)
+    (rn : rename) (r : Irule.t) : Irule.t option =
   let t = rn.rn_rule in
   let t_lhs_descs = Pattern.desc_vars t.Trule.lhs in
   let t_rhs_root_desc =
@@ -169,7 +171,7 @@ let compose_rules ~warn (rn : rename) (r : Irule.t) : Irule.t option =
       (Action.read_descriptors t.Trule.test)
   in
   if not t_test_ok then begin
-    warn
+    warn ~rule:t.Trule.name ~code:"P103"
       (Printf.sprintf
          "cannot compose %s with %s: the T-rule test reads computed \
           descriptors"
@@ -235,7 +237,7 @@ let compose_rules ~warn (rn : rename) (r : Irule.t) : Irule.t option =
       in
       match op_src with
       | None ->
-        warn
+        warn ~rule:t.Trule.name ~code:"P104"
           (Printf.sprintf
              "cannot compose %s with %s: the I-rule test reads operator \
               descriptor properties not traceable to the T-rule LHS"
@@ -298,7 +300,8 @@ let compose_rules ~warn (rn : rename) (r : Irule.t) : Irule.t option =
    re-descriptored and the T-rule's requirement computations are prepended
    to its pre-opt section (with the T-rule's descriptor variables renamed
    into the I-rule's frame). *)
-let attach_requirements ~warn (rn : rename) (r : Irule.t) : Irule.t option =
+let attach_requirements ~(warn : ?rule:string -> code:string -> string -> unit)
+    (rn : rename) (r : Irule.t) : Irule.t option =
   if rn.rn_redescs = [] then Some r
   else
     let t = rn.rn_rule in
@@ -310,7 +313,7 @@ let attach_requirements ~warn (rn : rename) (r : Irule.t) : Irule.t option =
     let r_vars = Pattern.vars r.Irule.lhs in
     if List.length r_vars <> List.length rn.rn_vars then None
     else if Irule.redescriptored_inputs r <> [] then begin
-      warn
+      warn ~rule:t.Trule.name ~code:"P106"
         (Printf.sprintf
            "cannot attach %s's requirements to %s: the I-rule already \
             re-descriptors its inputs"
@@ -403,7 +406,9 @@ let attach_requirements ~warn (rn : rename) (r : Irule.t) : Irule.t option =
 
 let merge ?(compose = true) (ruleset : Prairie.Ruleset.t) =
   let warnings = ref [] in
-  let warn m = warnings := m :: !warnings in
+  let warn ?rule ~code m =
+    warnings := Diagnostic.warning ?rule ~code m :: !warnings
+  in
   let infos = Enforcers.detect ruleset in
   let is_enf op = Enforcers.is_enforcer_operator infos op in
   (* 1. Drop the enforcer rules from the I-rule list. *)
@@ -423,6 +428,8 @@ let merge ?(compose = true) (ruleset : Prairie.Ruleset.t) =
   let trules =
     List.map
       (fun (t : Trule.t) ->
+        (* stripping warnings carry the T-rule they fired in *)
+        let warn ~code m = warn ~rule:t.Trule.name ~code m in
         {
           t with
           Trule.lhs = strip_pat ~is_enf ~warn t.Trule.lhs;
@@ -465,7 +472,7 @@ let merge ?(compose = true) (ruleset : Prairie.Ruleset.t) =
             if String.equal rn.rn_from rn.rn_to then begin
               (* pure idempotence: JOIN ==> JOIN; drop the rule *)
               if rn.rn_redescs <> [] then
-                warn
+                warn ~rule:t.Trule.name ~code:"P105"
                   (Printf.sprintf
                      "rule %s renames %s to itself but pushes requirements; \
                       dropping it anyway"
@@ -516,7 +523,7 @@ let merge ?(compose = true) (ruleset : Prairie.Ruleset.t) =
     impl_irules = irules;
     dropped_operators = List.rev !dropped_ops;
     composed = List.rev !composed;
-    warnings = List.rev !warnings;
+    warnings = Diagnostic.normalize !warnings;
   }
 
 let trans_rule_count r = List.length r.trans_trules
@@ -544,5 +551,5 @@ let pp ppf r =
   if r.dropped_operators <> [] then
     Format.fprintf ppf "@,operators dropped: %s"
       (String.concat ", " r.dropped_operators);
-  List.iter (fun w -> Format.fprintf ppf "@,warning: %s" w) r.warnings;
+  List.iter (fun w -> Format.fprintf ppf "@,%a" Diagnostic.pp w) r.warnings;
   Format.fprintf ppf "@]"

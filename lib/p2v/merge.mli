@@ -30,7 +30,9 @@ type result = {
       (** enforcer-operators and composed-away introduced operators *)
   composed : (string * string) list;
       (** (T-rule, I-rule) pairs that were merged *)
-  warnings : string list;
+  warnings : Prairie.Diagnostic.t list;
+      (** translation findings (codes P101–P106), deduplicated and in the
+          stable {!Prairie.Diagnostic.compare} order *)
 }
 
 val merge : ?compose:bool -> Prairie.Ruleset.t -> result

@@ -15,7 +15,7 @@ type t = {
   argument_properties : string list;
   prairie_spec_size : int;
   volcano_spec_size : int;
-  warnings : string list;
+  warnings : Prairie.Diagnostic.t list;
 }
 
 let stmts_of_trule (r : Trule.t) =
@@ -76,5 +76,5 @@ let pp ppf t =
   Format.fprintf ppf "@,spec size (Prairie): %d units" t.prairie_spec_size;
   Format.fprintf ppf "@,spec size (hand-coded Volcano equivalent): %d units"
     t.volcano_spec_size;
-  List.iter (fun w -> Format.fprintf ppf "@,warning: %s" w) t.warnings;
+  List.iter (fun w -> Format.fprintf ppf "@,%a" Prairie.Diagnostic.pp w) t.warnings;
   Format.fprintf ppf "@]"

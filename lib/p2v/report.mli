@@ -23,7 +23,7 @@ type t = {
       (** same metric over the generated rules, plus the per-rule support
           functions Volcano requires (4 per impl_rule, 2 per trans_rule) —
           the hand-coding effort the generated code replaces *)
-  warnings : string list;
+  warnings : Prairie.Diagnostic.t list;
 }
 
 val of_translation : Translate.t -> t

@@ -1,9 +1,17 @@
 (* Surface syntax tree of a rule-specification file.  Patterns, templates,
    statements and expressions reuse the Prairie core types directly — the
-   surface language is a concrete syntax for them. *)
+   surface language is a concrete syntax for them.  Every declaration
+   carries the source position of its introducing keyword so that
+   diagnostics (elaboration errors, lint findings) can point at
+   line/column. *)
+
+type loc = Lexer.position
+
+let no_loc : loc = { Lexer.line = 0; column = 0 }
 
 type rule_body = {
   rb_name : string;
+  rb_loc : loc;
   rb_lhs : Prairie.Pattern.t;
   rb_rhs : Prairie.Pattern.tmpl;
   rb_pre : Prairie.Action.stmt list;
@@ -12,9 +20,9 @@ type rule_body = {
 }
 
 type decl =
-  | Dproperty of string * string  (* name, type name *)
-  | Doperator of string * int  (* name, arity *)
-  | Dalgorithm of string * int
+  | Dproperty of string * string * loc  (* name, type name *)
+  | Doperator of string * int * loc  (* name, arity *)
+  | Dalgorithm of string * int * loc
   | Dtrule of rule_body
   | Dirule of rule_body
 
@@ -23,17 +31,48 @@ type spec = {
   decls : decl list;
 }
 
+let decl_loc = function
+  | Dproperty (_, _, l) | Doperator (_, _, l) | Dalgorithm (_, _, l) -> l
+  | Dtrule r | Dirule r -> r.rb_loc
+
 let properties spec =
-  List.filter_map (function Dproperty (n, ty) -> Some (n, ty) | _ -> None) spec.decls
+  List.filter_map
+    (function Dproperty (n, ty, _) -> Some (n, ty) | _ -> None)
+    spec.decls
+
+let properties_located spec =
+  List.filter_map
+    (function Dproperty (n, ty, l) -> Some (n, ty, l) | _ -> None)
+    spec.decls
 
 let operators spec =
-  List.filter_map (function Doperator (n, a) -> Some (n, a) | _ -> None) spec.decls
+  List.filter_map (function Doperator (n, a, _) -> Some (n, a) | _ -> None) spec.decls
+
+let operators_located spec =
+  List.filter_map
+    (function Doperator (n, a, l) -> Some (n, a, l) | _ -> None)
+    spec.decls
 
 let algorithms spec =
-  List.filter_map (function Dalgorithm (n, a) -> Some (n, a) | _ -> None) spec.decls
+  List.filter_map
+    (function Dalgorithm (n, a, _) -> Some (n, a) | _ -> None)
+    spec.decls
+
+let algorithms_located spec =
+  List.filter_map
+    (function Dalgorithm (n, a, l) -> Some (n, a, l) | _ -> None)
+    spec.decls
 
 let trules spec =
   List.filter_map (function Dtrule r -> Some r | _ -> None) spec.decls
 
 let irules spec =
   List.filter_map (function Dirule r -> Some r | _ -> None) spec.decls
+
+let rules spec =
+  List.filter_map
+    (function
+      | Dtrule r -> Some (`Trule, r)
+      | Dirule r -> Some (`Irule, r)
+      | Dproperty _ | Doperator _ | Dalgorithm _ -> None)
+    spec.decls

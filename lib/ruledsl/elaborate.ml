@@ -21,50 +21,62 @@ let tmpl_arities tmpl =
 
 let elaborate ~helpers (spec : Ast.spec) =
   let errs = ref [] in
-  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  (* [at loc fmt] prefixes the message with the declaration's source
+     position, so elaboration failures point at line/column instead of
+     being bare strings. *)
+  let at (loc : Ast.loc) fmt =
+    Printf.ksprintf
+      (fun m ->
+        let m =
+          if loc = Ast.no_loc then m
+          else Format.asprintf "%a: %s" Lexer.pp_position loc m
+        in
+        errs := m :: !errs)
+      fmt
+  in
   (* properties *)
   let props =
     List.filter_map
-      (fun (name, ty_name) ->
+      (fun (name, ty_name, loc) ->
         match Value.ty_of_string ty_name with
         | Some ty -> Some (Prairie.Property.declare name ty)
         | None ->
-          err "property %s: unknown type %s" name ty_name;
+          at loc "property %s: unknown type %s" name ty_name;
           None)
-      (Ast.properties spec)
+      (Ast.properties_located spec)
   in
   let seen = Hashtbl.create 16 in
   List.iter
-    (fun (p : Prairie.Property.t) ->
-      if Hashtbl.mem seen p.Prairie.Property.name then
-        err "duplicate property %s" p.Prairie.Property.name
-      else Hashtbl.add seen p.Prairie.Property.name ())
-    props;
+    (fun (name, _, loc) ->
+      if Hashtbl.mem seen name then at loc "duplicate property %s" name
+      else Hashtbl.add seen name ())
+    (Ast.properties_located spec);
   (* operators / algorithms *)
   let operators = Ast.operators spec in
   let algorithms =
     (Prairie.Irule.null_algorithm, 1) :: Ast.algorithms spec
   in
-  let check_arity rule_name kind decls (name, arity) =
+  let check_arity ~loc rule_name kind decls (name, arity) =
     match List.assoc_opt name decls with
     | Some declared when declared <> arity ->
-      err "rule %s: %s %s used with arity %d but declared with %d" rule_name
+      at loc "rule %s: %s %s used with arity %d but declared with %d" rule_name
         kind name arity declared
     | Some _ -> ()
-    | None -> err "rule %s: undeclared %s %s" rule_name kind name
+    | None -> at loc "rule %s: undeclared %s %s" rule_name kind name
   in
   let known name = List.mem_assoc name operators || List.mem_assoc name algorithms in
-  let check_node rule_name (name, arity) =
+  let check_node ~loc rule_name (name, arity) =
     if List.mem_assoc name operators then
-      check_arity rule_name "operator" operators (name, arity)
+      check_arity ~loc rule_name "operator" operators (name, arity)
     else if List.mem_assoc name algorithms then
-      check_arity rule_name "algorithm" algorithms (name, arity)
+      check_arity ~loc rule_name "algorithm" algorithms (name, arity)
     else if not (known name) then
-      err "rule %s: undeclared operation %s" rule_name name
+      at loc "rule %s: undeclared operation %s" rule_name name
   in
   let check_rule (r : Ast.rule_body) =
-    List.iter (check_node r.Ast.rb_name) (pattern_arities r.Ast.rb_lhs);
-    List.iter (check_node r.Ast.rb_name) (tmpl_arities r.Ast.rb_rhs)
+    let loc = r.Ast.rb_loc in
+    List.iter (check_node ~loc r.Ast.rb_name) (pattern_arities r.Ast.rb_lhs);
+    List.iter (check_node ~loc r.Ast.rb_name) (tmpl_arities r.Ast.rb_rhs)
   in
   List.iter check_rule (Ast.trules spec);
   List.iter check_rule (Ast.irules spec);

@@ -250,7 +250,7 @@ and parse_tmpl st =
 
 (* ---------------- declarations ---------------- *)
 
-let parse_rule_body st name =
+let parse_rule_body st ~loc name =
   let lhs = parse_pattern st in
   expect st Token.ARROW;
   let rhs = parse_template st in
@@ -276,6 +276,7 @@ let parse_rule_body st name =
   sections ();
   {
     Ast.rb_name = name;
+    rb_loc = loc;
     rb_lhs = lhs;
     rb_rhs = rhs;
     rb_pre = !pre;
@@ -284,6 +285,7 @@ let parse_rule_body st name =
   }
 
 let parse_decl st =
+  let loc = (current st).Lexer.pos in
   match peek st with
   | Token.KW_PROPERTY ->
     advance st;
@@ -291,7 +293,7 @@ let parse_decl st =
     expect st Token.COLON;
     let ty = ident st in
     expect st Token.SEMI;
-    Some (Ast.Dproperty (name, ty))
+    Some (Ast.Dproperty (name, ty, loc))
   | Token.KW_OPERATOR ->
     advance st;
     let name = ident st in
@@ -299,7 +301,7 @@ let parse_decl st =
     let arity = int_lit st in
     expect st Token.RPAREN;
     expect st Token.SEMI;
-    Some (Ast.Doperator (name, arity))
+    Some (Ast.Doperator (name, arity, loc))
   | Token.KW_ALGORITHM ->
     advance st;
     let name = ident st in
@@ -307,17 +309,17 @@ let parse_decl st =
     let arity = int_lit st in
     expect st Token.RPAREN;
     expect st Token.SEMI;
-    Some (Ast.Dalgorithm (name, arity))
+    Some (Ast.Dalgorithm (name, arity, loc))
   | Token.KW_TRULE ->
     advance st;
     let name = ident st in
     expect st Token.COLON;
-    Some (Ast.Dtrule (parse_rule_body st name))
+    Some (Ast.Dtrule (parse_rule_body st ~loc name))
   | Token.KW_IRULE ->
     advance st;
     let name = ident st in
     expect st Token.COLON;
-    Some (Ast.Dirule (parse_rule_body st name))
+    Some (Ast.Dirule (parse_rule_body st ~loc name))
   | Token.EOF -> None
   | t ->
     error st

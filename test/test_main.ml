@@ -11,4 +11,5 @@ let () =
    @ Test_misc.suites @ Test_genrules.suites @ Test_unnest.suites
    @ Test_star.suites @ Test_distributed.suites @ Test_properties.suites
    @ Test_translate_pieces.suites @ Test_aggregates.suites
-   @ Test_service.suites @ Test_stats.suites @ Test_obs.suites)
+   @ Test_service.suites @ Test_stats.suites @ Test_obs.suites
+   @ Test_lint.suites)

@@ -223,7 +223,9 @@ let merge_warning_tests =
         let m = Prairie_p2v.Merge.merge rs in
         check "warned" true
           (List.exists
-             (fun w -> contains_sub w "interior")
+             (fun (w : Prairie.Diagnostic.t) ->
+               String.equal w.Prairie.Diagnostic.code "P101"
+               && contains_sub w.Prairie.Diagnostic.message "interior")
              m.Prairie_p2v.Merge.warnings));
   ]
 
