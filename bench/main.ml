@@ -162,6 +162,16 @@ let table5 () =
       let inst = W.Queries.instance q ~joins:2 ~seed:101 in
       let r = Opt.optimize (Opt.oodb_prairie inst.W.Queries.catalog) inst.W.Queries.expr in
       let st = Search.stats r.Opt.search in
+      S.record_row
+        [
+          ("section", S.Json.Str "table5");
+          ("query", S.Json.Str (W.Queries.name q));
+          ("trans_matched", S.Json.Int (Stats.trans_matched_count st));
+          ("impl_matched", S.Json.Int (Stats.impl_matched_count st));
+          ("trans_applied", S.Json.Int (Stats.trans_applied_count st));
+          ("impl_applied", S.Json.Int (Stats.impl_applied_count st));
+          ("cost", S.Json.Float r.Opt.cost);
+        ];
       Printf.printf "  %-5s %-8s %-10s %12d %12d %12d %12d\n" (W.Queries.name q)
         (if W.Queries.indexed q then "Yes" else "No")
         (W.Expressions.family_name (W.Queries.family q))
@@ -177,22 +187,22 @@ let table5 () =
 (* Figures 10-13: optimization time vs number of joins                 *)
 (* ------------------------------------------------------------------ *)
 
-let figure name (qa, qb) ~max_joins ~budget_s () =
+let figure ~section name (qa, qb) ~max_joins ~budget_s () =
   S.header
     (Printf.sprintf
        "%s: per-query optimization time, Prairie (P2V) vs hand-coded Volcano"
        name);
   let max_joins = if !full then max_joins + 2 else max_joins in
-  S.print_points (W.Queries.name qa) (S.sweep qa ~max_joins ~budget_s);
-  S.print_points (W.Queries.name qb) (S.sweep qb ~max_joins ~budget_s);
+  S.print_points ~section (W.Queries.name qa) (S.sweep qa ~max_joins ~budget_s);
+  S.print_points ~section (W.Queries.name qb) (S.sweep qb ~max_joins ~budget_s);
   Printf.printf
     "  Paper's shape: both optimizers within a few percent of each other;\n\
     \  super-exponential growth with the number of joins.\n"
 
-let fig10 = figure "Figure 10 (E1: joins of base classes)" (W.Queries.Q1, W.Queries.Q2) ~max_joins:6 ~budget_s:5.0
-let fig11 = figure "Figure 11 (E2: MATerialize before join)" (W.Queries.Q3, W.Queries.Q4) ~max_joins:4 ~budget_s:5.0
-let fig12 = figure "Figure 12 (E3: SELECT over E1)" (W.Queries.Q5, W.Queries.Q6) ~max_joins:3 ~budget_s:8.0
-let fig13 = figure "Figure 13 (E4: SELECT over E2)" (W.Queries.Q7, W.Queries.Q8) ~max_joins:3 ~budget_s:8.0
+let fig10 = figure ~section:"fig10" "Figure 10 (E1: joins of base classes)" (W.Queries.Q1, W.Queries.Q2) ~max_joins:6 ~budget_s:5.0
+let fig11 = figure ~section:"fig11" "Figure 11 (E2: MATerialize before join)" (W.Queries.Q3, W.Queries.Q4) ~max_joins:4 ~budget_s:5.0
+let fig12 = figure ~section:"fig12" "Figure 12 (E3: SELECT over E1)" (W.Queries.Q5, W.Queries.Q6) ~max_joins:3 ~budget_s:8.0
+let fig13 = figure ~section:"fig13" "Figure 13 (E4: SELECT over E2)" (W.Queries.Q7, W.Queries.Q8) ~max_joins:3 ~budget_s:8.0
 
 (* ------------------------------------------------------------------ *)
 (* Figure 14: equivalence classes vs number of joins                   *)
@@ -222,6 +232,17 @@ let fig14 () =
         else begin
           let inst = W.Queries.instance q ~joins ~seed:101 in
           let r = Opt.optimize (Opt.oodb_prairie inst.W.Queries.catalog) inst.W.Queries.expr in
+          S.record_row
+            [
+              ("section", S.Json.Str "fig14");
+              ("query", S.Json.Str (W.Queries.name q));
+              ("joins", S.Json.Int joins);
+              ("groups", S.Json.Int (Search.group_count r.Opt.search));
+              ( "lexprs",
+                S.Json.Int
+                  (Prairie_volcano.Memo.lexpr_count (Search.memo r.Opt.search))
+              );
+            ];
           Printf.printf "  %8d" (Search.group_count r.Opt.search)
         end)
       families;
@@ -294,9 +315,15 @@ let relational () =
         total := !total +. S.time_ms (fun () -> ignore (Opt.optimize opt q));
         groups := Search.group_count (Opt.optimize opt q).Opt.search)
       S.seeds;
-    Printf.printf "  %6d  %12.3f  %10d\n" joins
-      (!total /. float_of_int (List.length S.seeds))
-      !groups
+    let avg_ms = !total /. float_of_int (List.length S.seeds) in
+    S.record_row
+      [
+        ("section", S.Json.Str "relational");
+        ("joins", S.Json.Int joins);
+        ("prairie_ms", S.Json.Float avg_ms);
+        ("groups", S.Json.Int !groups);
+      ];
+    Printf.printf "  %6d  %12.3f  %10d\n" joins avg_ms !groups
   done;
   let cat = build_catalog 3 1 in
   let rs = Rel.ruleset cat in
@@ -331,6 +358,15 @@ let star () =
     in
     let lt, lg = run lin_cat lin_q in
     let st, sg = run star_cat star_q in
+    S.record_row
+      [
+        ("section", S.Json.Str "star");
+        ("joins", S.Json.Int joins);
+        ("linear_ms", S.Json.Float lt);
+        ("linear_groups", S.Json.Int lg);
+        ("star_ms", S.Json.Float st);
+        ("star_groups", S.Json.Int sg);
+      ];
     Printf.printf "  %6d  %14.3f %10d  %14.3f %10d\n" joins lt lg st sg
   done;
   Printf.printf
@@ -366,6 +402,21 @@ let strategies () =
         | Some p -> Prairie_volcano.Plan.cost p
         | None -> infinity
       in
+      S.record_row
+        [
+          ("section", S.Json.Str "strategies");
+          ("query", S.Json.Str (W.Queries.name q));
+          ("joins", S.Json.Int joins);
+          ("topdown_ms", S.Json.Float t_td);
+          ("bottomup_ms", S.Json.Float t_bu);
+          ("td_costed", S.Json.Int (Search.stats td.Opt.search).Stats.impl_firings);
+          ("bu_costed", S.Json.Int bu.Prairie_volcano.Bottom_up.plans_costed);
+          ("cost", S.Json.Float td.Opt.cost);
+          ( "same_cost",
+            S.Json.Str
+              (if Float.abs (td.Opt.cost -. bu_cost) < 1e-6 then "yes" else "no")
+          );
+        ];
       Printf.printf "  %-5s %6d %14.3f %14.3f %12d %12d %10s\n"
         (W.Queries.name q) joins t_td t_bu
         (Search.stats td.Opt.search).Stats.impl_firings
@@ -560,7 +611,7 @@ let service () =
     (Domain.recommended_domain_count ());
   let digest_of served =
     match served.Opt.plan with
-    | Some p -> Digest.to_hex (Digest.string (Marshal.to_string p []))
+    | Some p -> Prairie.Expr.fingerprint (Prairie_volcano.Plan.to_expr p)
     | None -> "-"
   in
   (* 1. the pre-existing sequential path: one full search per request *)
@@ -621,7 +672,7 @@ let service () =
         Float.equal b.Opt.cost w.Opt.cost
         && String.equal
              (match b.Opt.plan with
-             | Some p -> Digest.to_hex (Digest.string (Marshal.to_string p []))
+             | Some p -> Prairie.Expr.fingerprint (Prairie_volcano.Plan.to_expr p)
              | None -> "-")
              (digest_of w))
       !baseline !warm
@@ -810,6 +861,16 @@ let () =
   in
   let metrics_file, args = strip_metrics [] args in
   if metrics_file <> None then metrics := Some (Obs.Metrics.create ());
+  (* --json FILE: machine-readable per-section results (see Support.Json) *)
+  let rec strip_json acc = function
+    | [] -> (None, List.rev acc)
+    | [ "--json" ] ->
+      prerr_endline "--json requires a FILE argument";
+      exit 2
+    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | a :: rest -> strip_json (a :: acc) rest
+  in
+  let json_file, args = strip_json [] args in
   let full_flag, named = List.partition (fun a -> a = "--full") args in
   full := full_flag <> [];
   let to_run =
@@ -828,7 +889,21 @@ let () =
   in
   Printf.printf "Prairie reproduction benchmarks%s\n"
     (if !full then " (full sweeps)" else "");
-  List.iter (fun (_, f) -> f ()) to_run;
+  List.iter
+    (fun (name, f) ->
+      let wall = S.time_once f in
+      S.record_row
+        [
+          ("section", S.Json.Str "wall");
+          ("name", S.Json.Str name);
+          ("wall_ms", S.Json.Float (wall *. 1000.0));
+        ])
+    to_run;
+  (match json_file with
+  | Some file ->
+    S.write_json file ~full:!full ~sections:(List.map fst to_run);
+    Printf.printf "\njson results written to %s\n" file
+  | None -> ());
   match (metrics_file, !metrics) with
   | Some "-", Some m -> Obs.Metrics.output stdout `Prometheus m
   | Some file, Some m ->

@@ -5,6 +5,7 @@ module W = Prairie_workload
 module Opt = Prairie_optimizers.Optimizers
 module Search = Prairie_volcano.Search
 module Stats = Prairie_volcano.Stats
+module Memo = Prairie_volcano.Memo
 
 let seeds = [ 101; 202; 303; 404; 505 ]
 (* the paper varies base-class cardinalities five times per data point *)
@@ -30,11 +31,91 @@ let time_ms f =
     done;
     (now () -. t0) /. float_of_int reps *. 1000.0
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (--json FILE)                              *)
+(*                                                                     *)
+(* Sections push flat row objects into a run-global collector; the     *)
+(* driver serializes them with run metadata at exit.  Rows are          *)
+(* heterogeneous on purpose — each carries a "section" field and        *)
+(* whatever measurements that section produces — so downstream tooling  *)
+(* filters by section instead of depending on a rigid schema.          *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type v =
+    | Int of int
+    | Float of float
+    | Str of string
+    | Obj of (string * v) list
+    | Arr of v list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec output buf = function
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf "null"
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "\"%s\":" (escape k));
+          output buf v)
+        fields;
+      Buffer.add_char buf '}'
+    | Arr vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          output buf v)
+        vs;
+      Buffer.add_char buf ']'
+end
+
+let json_rows : Json.v list ref = ref []
+let record_row fields = json_rows := Json.Obj fields :: !json_rows
+
+let write_json file ~full ~sections =
+  let buf = Buffer.create 4096 in
+  Json.output buf
+    (Json.Obj
+       [
+         ("schema", Json.Str "prairie-bench/1");
+         ("full", Json.Str (if full then "true" else "false"));
+         ("sections", Json.Arr (List.map (fun s -> Json.Str s) sections));
+         ("rows", Json.Arr (List.rev !json_rows));
+       ]);
+  Buffer.add_char buf '\n';
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
 type point = {
   joins : int;
   prairie_ms : float;
   volcano_ms : float;
   groups : int;
+  lexprs : int;
+  memo_hits : int;
   cost : float;
 }
 
@@ -44,6 +125,7 @@ let measure_point q ~joins =
   let instances = W.Queries.instances q ~joins ~seeds in
   let total_p = ref 0.0 and total_v = ref 0.0 in
   let groups = ref 0 and cost = ref 0.0 in
+  let lexprs = ref 0 and memo_hits = ref 0 in
   List.iter
     (fun (inst : W.Queries.instance) ->
       let cat = inst.W.Queries.catalog in
@@ -53,6 +135,8 @@ let measure_point q ~joins =
       total_v := !total_v +. time_ms (fun () -> ignore (Opt.optimize volcano inst.W.Queries.expr));
       let r = Opt.optimize prairie inst.W.Queries.expr in
       groups := Search.group_count r.Opt.search;
+      lexprs := Memo.lexpr_count (Search.memo r.Opt.search);
+      memo_hits := (Search.stats r.Opt.search).Stats.memo_hits;
       cost := r.Opt.cost)
     instances;
   let n = float_of_int (List.length instances) in
@@ -61,6 +145,8 @@ let measure_point q ~joins =
     prairie_ms = !total_p /. n;
     volcano_ms = !total_v /. n;
     groups = !groups;
+    lexprs = !lexprs;
+    memo_hits = !memo_hits;
     cost = !cost;
   }
 
@@ -83,7 +169,7 @@ let header title =
 
 let subheader title = Printf.printf "\n-- %s --\n" title
 
-let print_points name points =
+let print_points ?section name points =
   Printf.printf "%s\n" name;
   Printf.printf "  %6s  %12s  %12s  %8s  %10s  %7s\n" "joins" "Prairie(ms)"
     "Volcano(ms)" "ratio" "groups" "cost";
@@ -92,5 +178,20 @@ let print_points name points =
       Printf.printf "  %6d  %12.3f  %12.3f  %7.2f%%  %10d  %7.1f\n" p.joins
         p.prairie_ms p.volcano_ms
         ((p.prairie_ms /. Float.max 1e-9 p.volcano_ms -. 1.0) *. 100.0)
-        p.groups p.cost)
+        p.groups p.cost;
+      match section with
+      | None -> ()
+      | Some sec ->
+        record_row
+          [
+            ("section", Json.Str sec);
+            ("query", Json.Str name);
+            ("joins", Json.Int p.joins);
+            ("prairie_ms", Json.Float p.prairie_ms);
+            ("volcano_ms", Json.Float p.volcano_ms);
+            ("groups", Json.Int p.groups);
+            ("lexprs", Json.Int p.lexprs);
+            ("memo_hits", Json.Int p.memo_hits);
+            ("cost", Json.Float p.cost);
+          ])
     points

@@ -4,13 +4,28 @@
     operator tree; every node has its own descriptor" (paper §2.1).  Unlike
     Volcano, a single structure holds what Volcano splits into
     operator/algorithm arguments, physical properties and cost — the split is
-    recovered mechanically by the P2V pre-processor. *)
+    recovered mechanically by the P2V pre-processor.
+
+    Descriptors are hash-consed through a domain-local, generation-scoped
+    pool (a bounded strong table, reset wholesale when full): every
+    value carries a pool-unique {!id}, a precomputed order-independent
+    {!hash}, and a lazily cached {!fingerprint}, so the memo hot paths get
+    O(1) hashing and (within a domain) pointer-equality comparisons.
+    Observational semantics are unchanged from the uninterned
+    representation. *)
 
 type t
 
 val empty : t
 
 val is_empty : t -> bool
+
+val id : t -> int
+(** Pool-unique identity of this descriptor, assigned at interning time.
+    Unique only within the interning domain — descriptors that cross domains
+    (e.g. through the plan cache) may collide on [id], so persistent keys
+    must use the descriptor itself (via {!hash}/{!equal} or {!Tbl}), not the
+    raw id.  Ids are not stable across runs; never use them for ordering. *)
 
 val get : t -> string -> Prairie_value.Value.t
 (** [get d p] is the value of property [p], or [Null] when unset. *)
@@ -41,22 +56,48 @@ val restrict : t -> string list -> t
 val without : t -> string list -> t
 (** Drop the named properties. *)
 
+module String_set : Set.S with type elt = string
+
+val restrict_set : t -> String_set.t -> t
+(** {!restrict} against a prebuilt property set — use this when the same
+    property list is applied repeatedly (e.g. a rule set's physical
+    properties) to avoid rebuilding the set per call. *)
+
+val without_set : t -> String_set.t -> t
+
 val equal : t -> t -> bool
 
 val compare : t -> t -> int
+(** Structural comparison (not id-based): deterministic across runs and
+    domains. *)
 
 val hash : t -> int
+(** O(1): returns the hash precomputed at interning time. *)
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed by descriptor, using the cached hash and the
+    pointer-fast-path equality.  This is the right structure for winner
+    tables and per-descriptor memo caches. *)
 
 val add_fingerprint : Buffer.t -> t -> unit
 (** Append an injective canonical serialization of the bindings to a buffer
     (the building block of {!Prairie.Expr.fingerprint}).  Because "no
     constraint" values are normalized to absence (see {!set}), descriptors
     built along different rewriting paths serialize identically exactly when
-    they are {!equal}. *)
+    they are {!equal}.  The serialization is computed once per descriptor
+    and cached. *)
 
 val fingerprint : t -> string
-(** [add_fingerprint] into a fresh buffer.
+(** [add_fingerprint] into a fresh buffer, cached after the first call.
     [fingerprint a = fingerprint b] iff [equal a b]. *)
+
+type pool_stats = { size : int; hits : int; misses : int }
+(** [size] is the current number of live descriptors in this domain's pool;
+    [hits] counts interning requests answered by an existing descriptor,
+    [misses] those that created a new one. *)
+
+val pool_stats : unit -> pool_stats
+(** Statistics of the calling domain's interning pool. *)
 
 (** {1 Typed accessors}
 

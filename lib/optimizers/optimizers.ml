@@ -92,6 +92,40 @@ let m_worker_jobs m ~ruleset ~worker =
     ~labels:[ ("ruleset", ruleset); ("worker", string_of_int worker) ]
     "prairie_pool_worker_jobs_total"
 
+let m_winner_probes_total m ~ruleset =
+  Metrics.counter m ~help:"Memo winner-table lookups"
+    ~labels:[ ("ruleset", ruleset) ] "prairie_winner_probes_total"
+
+let m_winner_hits_total m ~ruleset =
+  Metrics.counter m ~help:"Memo winner-table lookups answered"
+    ~labels:[ ("ruleset", ruleset) ] "prairie_winner_hits_total"
+
+let winner_metrics m ~ruleset st =
+  Metrics.inc ~by:st.Prairie_volcano.Stats.winner_probes
+    (m_winner_probes_total m ~ruleset);
+  Metrics.inc ~by:st.Prairie_volcano.Stats.winner_hits
+    (m_winner_hits_total m ~ruleset)
+
+(* Gauges of the calling domain's descriptor interning pool (pool-worker
+   domains have their own pools, not visible from here). *)
+let pool_metrics m =
+  let s = Descriptor.pool_stats () in
+  let set name help v = Metrics.set (Metrics.gauge m ~help name) v in
+  set "prairie_descriptor_pool_size"
+    "Live interned descriptors (calling domain)"
+    (float_of_int s.Descriptor.size);
+  set "prairie_descriptor_pool_hits"
+    "Interning requests answered by an existing descriptor (lifetime)"
+    (float_of_int s.Descriptor.hits);
+  set "prairie_descriptor_pool_misses"
+    "Interning requests that allocated a new descriptor (lifetime)"
+    (float_of_int s.Descriptor.misses);
+  set "prairie_descriptor_pool_hit_rate"
+    "Lifetime interning hit rate of the calling domain's pool"
+    (let total = s.Descriptor.hits + s.Descriptor.misses in
+     if total = 0 then 0.0
+     else float_of_int s.Descriptor.hits /. float_of_int total)
+
 let cache_metrics m cache =
   let s = Prairie_service.Plan_cache.stats cache in
   let set name help v =
@@ -123,7 +157,9 @@ let optimize ?pruning ?group_budget ?(required = Descriptor.empty) ?trace
   | None -> ()
   | Some m ->
     Metrics.inc (m_optimize_total m ~ruleset:t.name);
-    Metrics.observe (m_optimize_seconds m ~ruleset:t.name) elapsed);
+    Metrics.observe (m_optimize_seconds m ~ruleset:t.name) elapsed;
+    winner_metrics m ~ruleset:t.name (Search.stats search);
+    pool_metrics m);
   let cost = match plan with Some p -> Plan.cost p | None -> infinity in
   { plan; cost; search }
 
@@ -187,7 +223,8 @@ let serve_metered ?pruning ?group_budget ?jobs ?cache ?metrics t batch =
     (match metrics with
     | None -> ()
     | Some m ->
-      Metrics.observe (m_search_seconds m ~ruleset:t.name) elapsed);
+      Metrics.observe (m_search_seconds m ~ruleset:t.name) elapsed;
+      winner_metrics m ~ruleset:t.name (Search.stats search));
     let cost = match plan with Some p -> Plan.cost p | None -> infinity in
     let entry =
       {
@@ -250,5 +287,6 @@ let serve ?pruning ?group_budget ?jobs ?cache ?metrics t batch =
       (if requests = 0 then 0.0
        else float_of_int (requests - fresh) /. float_of_int requests);
     Metrics.observe (m_batch_seconds m ~ruleset:t.name) elapsed;
+    pool_metrics m;
     match cache with Some c -> cache_metrics m c | None -> ());
   served

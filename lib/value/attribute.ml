@@ -3,7 +3,8 @@ type t = { owner : string; name : string }
 let make ~owner ~name = { owner; name }
 let owner t = t.owner
 let name t = t.name
-let equal a b = String.equal a.owner b.owner && String.equal a.name b.name
+let equal a b =
+  a == b || (String.equal a.owner b.owner && String.equal a.name b.name)
 
 let compare a b =
   match String.compare a.owner b.owner with

@@ -63,7 +63,21 @@ let has_ty v ty =
     ->
     false
 
+(* Physical-equality fast paths throughout: descriptor interning makes
+   derived descriptors share value structure (whole values, attribute-list
+   tails, predicate trees), so [==] settles almost every comparison on the
+   optimizer hot paths without walking the structure. *)
+let rec attrs_equal x y =
+  x == y
+  ||
+  match (x, y) with
+  | [], [] -> true
+  | a :: xs, b :: ys -> Attribute.equal a b && attrs_equal xs ys
+  | [], _ :: _ | _ :: _, [] -> false
+
 let rec equal a b =
+  a == b
+  ||
   match (a, b) with
   | Null, Null -> true
   | Bool x, Bool y -> Bool.equal x y
@@ -72,12 +86,20 @@ let rec equal a b =
   | Str x, Str y -> String.equal x y
   | Order x, Order y -> Order.equal x y
   | Pred x, Pred y -> Predicate.equal x y
-  | Attrs x, Attrs y -> List.equal Attribute.equal x y
-  | List x, List y -> List.equal equal x y
+  | Attrs x, Attrs y -> attrs_equal x y
+  | List x, List y -> list_equal x y
   | ( ( Null | Bool _ | Int _ | Float _ | Str _ | Order _ | Pred _ | Attrs _
       | List _ ),
       _ ) ->
     false
+
+and list_equal x y =
+  x == y
+  ||
+  match (x, y) with
+  | [], [] -> true
+  | a :: xs, b :: ys -> equal a b && list_equal xs ys
+  | [], _ :: _ | _ :: _, [] -> false
 
 let compare a b = Stdlib.compare a b
 let hash v = Hashtbl.hash v

@@ -37,7 +37,7 @@ let topological_order memo =
 let optimize_in ctx g0 ~required =
   let memo = Search.memo ctx in
   let rules = Search.ruleset ctx in
-  let required = Rule.restrict_physical rules required in
+  let required = Search.restrict_req ctx required in
   (* 1. saturate: explore until no group or expression appears *)
   let rec saturate () =
     let before = (Memo.group_count memo, Memo.lexpr_count memo) in
@@ -51,7 +51,7 @@ let optimize_in ctx g0 ~required =
   let queue = Queue.create () in
   let add g req =
     let g = Memo.canonical memo g in
-    let req = Rule.restrict_physical rules req in
+    let req = Search.restrict_req ctx req in
     if not (Tbl.mem interesting (g, req)) then begin
       Tbl.replace interesting (g, req) ();
       Queue.add (g, req) queue
@@ -140,7 +140,7 @@ let optimize_in ctx g0 ~required =
                             match
                               Tbl.find_opt table
                                 ( Memo.canonical memo le.Memo.inputs.(i),
-                                  Rule.restrict_physical rules r )
+                                  Search.restrict_req ctx r )
                             with
                             | Some (Some p) -> Some p
                             | Some None | None -> None)
@@ -180,7 +180,7 @@ let optimize_in ctx g0 ~required =
               (fun (en : Rule.enforcer) ->
                 if en.Rule.en_applies ~req then begin
                   let relaxed =
-                    Rule.restrict_physical rules (en.Rule.en_relaxed ~req)
+                    Search.restrict_req ctx (en.Rule.en_relaxed ~req)
                   in
                   if not (Descriptor.equal relaxed req) then
                     match Tbl.find_opt table (g, relaxed) with

@@ -25,25 +25,43 @@ type winner = {
   searched_limit : float;
 }
 
+(* [members] is kept newest-first (insertion prepends), so [lexprs] returns
+   it without allocating; older code stored it oldest-first and paid a
+   [List.rev] per call in the innermost explore/cost loops. *)
 type group = {
   g_id : gid;
   mutable members : lexpr list;
   mutable desc : Descriptor.t;
   mutable explored : bool;
   mutable exploring : bool;
-  mutable winners : (Descriptor.t * winner) list;
+  winners : winner Descriptor.Tbl.t;
 }
 
 module Key = struct
   type t = lnode * Descriptor.t * gid array
 
+  let node_equal n1 n2 =
+    match (n1, n2) with
+    | L_op a, L_op b | L_file a, L_file b -> String.equal a b
+    | L_op _, L_file _ | L_file _, L_op _ -> false
+
   let equal (n1, d1, i1) (n2, d2, i2) =
-    n1 = n2
+    node_equal n1 n2
     && Array.length i1 = Array.length i2
     && Array.for_all2 Int.equal i1 i2
     && Descriptor.equal d1 d2
 
-  let hash (n, d, i) = Hashtbl.hash (n, Descriptor.hash d, Array.to_list i)
+  (* Allocation-free: combines the cached descriptor hash with the node name
+     and input gids directly, instead of hashing a freshly built
+     (node, hash, list) tuple per probe. *)
+  let node_hash = function
+    | L_op s -> Hashtbl.hash s
+    | L_file s -> Hashtbl.hash s lxor 0x2f6e5a
+
+  let hash (n, d, i) =
+    let h = ref (node_hash n lxor Descriptor.hash d) in
+    Array.iter (fun g -> h := (!h * 31) + g) i;
+    !h land max_int
 end
 
 module Ktbl = Hashtbl.Make (Key)
@@ -54,7 +72,8 @@ type t = {
   mutable next_gid : int;
   mutable next_lexpr : int;
   index : (int * gid) Ktbl.t;  (** dedup: key -> (lexpr id, group) *)
-  tried : (int * string, unit) Hashtbl.t;
+  tried : (int, unit) Hashtbl.t;
+      (** (lexpr id, trans-rule id) packed into one int — see [tried_key] *)
   stats : Stats.t;
   trace : Trace.t option;
 }
@@ -88,7 +107,7 @@ let rec canonical t g =
 
 let group t g = Hashtbl.find t.groups (canonical t g)
 let group_desc t g = (group t g).desc
-let lexprs t g = List.rev (group t g).members
+let lexprs t g = (group t g).members
 let group_count t = Hashtbl.length t.groups
 
 let lexpr_count t =
@@ -101,23 +120,29 @@ let is_explored t g = (group t g).explored
 let set_explored t g v = (group t g).explored <- v
 let is_exploring t g = (group t g).exploring
 let set_exploring t g v = (group t g).exploring <- v
-let rule_tried t (le : lexpr) rule = Hashtbl.mem t.tried (le.id, rule)
-let mark_rule_tried t (le : lexpr) rule = Hashtbl.replace t.tried (le.id, rule) ()
+(* Rule ids are positions in the rule set's transformation list, so they fit
+   comfortably in 20 bits; packing avoids allocating a tuple key on every
+   "already tried?" probe in the explore loop. *)
+let tried_key (le : lexpr) rule = (le.id lsl 20) lor rule
+let rule_tried t (le : lexpr) rule = Hashtbl.mem t.tried (tried_key le rule)
+let mark_rule_tried t (le : lexpr) rule =
+  Hashtbl.replace t.tried (tried_key le rule) ()
 
 let find_winner t g req =
   let grp = group t g in
-  List.find_map
-    (fun (r, w) -> if Descriptor.equal r req then Some w else None)
-    grp.winners
+  t.stats.Stats.winner_probes <- t.stats.Stats.winner_probes + 1;
+  match Descriptor.Tbl.find_opt grp.winners req with
+  | Some _ as w ->
+    t.stats.Stats.winner_hits <- t.stats.Stats.winner_hits + 1;
+    w
+  | None -> None
 
 let set_winner t g req w =
   let grp = group t g in
-  grp.winners <-
-    (req, w)
-    :: List.filter (fun (r, _) -> not (Descriptor.equal r req)) grp.winners
+  Descriptor.Tbl.replace grp.winners req w
 
 let clear_winners t =
-  Hashtbl.iter (fun _ g -> g.winners <- []) t.groups
+  Hashtbl.iter (fun _ g -> Descriptor.Tbl.reset g.winners) t.groups
 
 let fresh_group t desc =
   let g =
@@ -127,7 +152,7 @@ let fresh_group t desc =
       desc;
       explored = false;
       exploring = false;
-      winners = [];
+      winners = Descriptor.Tbl.create 8;
     }
   in
   t.next_gid <- t.next_gid + 1;
@@ -135,9 +160,6 @@ let fresh_group t desc =
   t.stats.Stats.groups_created <- t.stats.Stats.groups_created + 1;
   emit t (fun () -> Trace.Group_created { gid = g.g_id });
   g
-
-let key_of t node arg inputs =
-  (node, arg, Array.map (canonical t) inputs)
 
 (* Merge two groups proven equal; the smaller id survives.  Members whose
    inputs referenced the dead group are canonicalized lazily by
@@ -151,10 +173,12 @@ let rec merge t a b =
     let gd = Hashtbl.find t.groups dead in
     Hashtbl.remove t.groups dead;
     Hashtbl.replace t.parents dead survivor;
-    gs.members <- gs.members @ gd.members;
+    (* newest-first concatenation: the dead group's members are "newer" than
+       the survivor's, matching the pre-merge [lexprs] order. *)
+    gs.members <- gd.members @ gs.members;
     gs.explored <- false;
     gs.exploring <- gs.exploring || gd.exploring;
-    gs.winners <- [];
+    Descriptor.Tbl.reset gs.winners;
     t.stats.Stats.groups_merged <- t.stats.Stats.groups_merged + 1;
     emit t (fun () -> Trace.Groups_merged { survivor; dead });
     normalize t;
@@ -162,19 +186,30 @@ let rec merge t a b =
   end
 
 (* After a merge, re-canonicalize every member's inputs and rebuild the
-   dedup index; newly-revealed duplicates cascade into further merges. *)
+   dedup index; newly-revealed duplicates cascade into further merges.
+   Dedup keeps the oldest occurrence and the index records members
+   oldest-first, so the surviving ids match the pre-merge state. *)
 and normalize t =
   Ktbl.clear t.index;
   let pending = ref None in
+  (* Most members are untouched by a merge; re-allocate the record (and its
+     input array) only when canonicalization actually changes a gid. *)
+  let canon_member le =
+    let inputs = le.inputs in
+    let n = Array.length inputs in
+    let i = ref 0 in
+    while !i < n && canonical t inputs.(!i) = inputs.(!i) do
+      incr i
+    done;
+    if !i = n then le
+    else { le with inputs = Array.map (canonical t) inputs }
+  in
   Hashtbl.iter
     (fun gid g ->
-      g.members <-
-        List.map
-          (fun le -> { le with inputs = Array.map (canonical t) le.inputs })
-          g.members;
+      let oldest_first = List.rev_map canon_member g.members in
       (* drop duplicates within the group *)
       let seen = Ktbl.create 8 in
-      g.members <-
+      let oldest_first =
         List.filter
           (fun le ->
             let k = (le.node, le.arg, le.inputs) in
@@ -183,7 +218,9 @@ and normalize t =
               Ktbl.replace seen k ();
               true
             end)
-          g.members;
+          oldest_first
+      in
+      g.members <- List.rev oldest_first;
       List.iter
         (fun le ->
           let k = (le.node, le.arg, le.inputs) in
@@ -192,7 +229,7 @@ and normalize t =
           | Some (_, gid') when gid' <> gid ->
             if !pending = None then pending := Some (gid, gid')
           | Some _ -> ())
-        g.members)
+        oldest_first)
     t.groups;
   match !pending with
   | Some (x, y) -> ignore (merge t x y)
@@ -202,7 +239,9 @@ and normalize t =
    it lives in and whether it is new. *)
 let insert_lexpr t ?into node arg inputs =
   let inputs = Array.map (canonical t) inputs in
-  let key = key_of t node arg inputs in
+  (* [inputs] is already canonical, so the key can share the array instead of
+     re-canonicalizing through [key_of]. *)
+  let key = (node, arg, inputs) in
   match Ktbl.find_opt t.index key with
   | Some (_, g) ->
     t.stats.Stats.lexpr_duplicates <- t.stats.Stats.lexpr_duplicates + 1;
@@ -221,7 +260,7 @@ let insert_lexpr t ?into node arg inputs =
     in
     let le = { id = t.next_lexpr; node; arg; inputs } in
     t.next_lexpr <- t.next_lexpr + 1;
-    grp.members <- grp.members @ [ le ];
+    grp.members <- le :: grp.members;
     grp.explored <- false;
     Ktbl.replace t.index key (le.id, grp.g_id);
     t.stats.Stats.lexprs_created <- t.stats.Stats.lexprs_created + 1;
@@ -273,7 +312,7 @@ let pp ppf t =
           Format.fprintf ppf "@,%a(%s)" pp_lnode le.node
             (String.concat ", "
                (List.map string_of_int (Array.to_list le.inputs))))
-        (List.rev g.members);
+        g.members;
       Format.fprintf ppf "@]")
     (groups t);
   Format.fprintf ppf "@]"

@@ -45,7 +45,8 @@ val group_desc : t -> gid -> Prairie.Descriptor.t
     what a stream variable's descriptor [Di] binds to. *)
 
 val lexprs : t -> gid -> lexpr list
-(** Current members of the group. *)
+(** Current members of the group, newest first.  O(1): returns the stored
+    member list without copying. *)
 
 val insert_file : t -> string -> Prairie.Descriptor.t -> gid
 (** Group holding a stored-file leaf (idempotent per file name+descriptor). *)
@@ -76,10 +77,13 @@ val set_explored : t -> gid -> bool -> unit
 val is_exploring : t -> gid -> bool
 val set_exploring : t -> gid -> bool -> unit
 
-val rule_tried : t -> lexpr -> string -> bool
-(** Has the (lexpr, trans-rule) pair already been processed? *)
+val rule_tried : t -> lexpr -> int -> bool
+(** Has the (lexpr, trans-rule) pair already been processed?  Rules are
+    identified by a small integer id — their position in the rule set's
+    [rs_trans] list (assigned by {!Search.create}) — so the guard probe
+    hashes two ints instead of a rule-name string. *)
 
-val mark_rule_tried : t -> lexpr -> string -> unit
+val mark_rule_tried : t -> lexpr -> int -> unit
 
 (** Winners of [find_best_plan] memoization: keyed by required physical
     properties. *)
@@ -91,6 +95,10 @@ type winner = {
 }
 
 val find_winner : t -> gid -> Prairie.Descriptor.t -> winner option
+(** O(1) probe of the group's winner table (a hashtable keyed by the
+    required descriptor's cached hash).  Counts into
+    [Stats.winner_probes]/[Stats.winner_hits]. *)
+
 val set_winner : t -> gid -> Prairie.Descriptor.t -> winner -> unit
 val clear_winners : t -> unit
 

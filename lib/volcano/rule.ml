@@ -53,6 +53,10 @@ type ruleset = {
   rs_impl : impl_rule list;
   rs_enforcers : enforcer list;
   rs_physical : string list;
+  rs_physical_set : Descriptor.String_set.t;
+      (** [rs_physical] as a set, built once at construction *)
+  rs_impl_index : (string, impl_rule list) Hashtbl.t;
+      (** impl rules grouped by operator, in [rs_impl] order *)
   rs_satisfies : required:Descriptor.t -> actual:Descriptor.t -> bool;
 }
 
@@ -68,16 +72,25 @@ let default_satisfies ~required ~actual =
 
 let make_ruleset ?(trans = []) ?(impl = []) ?(enforcers = [])
     ?(physical = [ "tuple_order" ]) ?(satisfies = default_satisfies) name =
+  let impl_index = Hashtbl.create 16 in
+  (* reversed-accumulator grouping keeps each bucket in [impl] order *)
+  List.iter
+    (fun r ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt impl_index r.ir_op) in
+      Hashtbl.replace impl_index r.ir_op (r :: prev))
+    (List.rev impl);
   {
     rs_name = name;
     rs_trans = trans;
     rs_impl = impl;
     rs_enforcers = enforcers;
     rs_physical = physical;
+    rs_physical_set = Descriptor.String_set.of_list physical;
+    rs_impl_index = impl_index;
     rs_satisfies = satisfies;
   }
 
 let impl_rules_for rs op =
-  List.filter (fun r -> String.equal r.ir_op op) rs.rs_impl
+  Option.value ~default:[] (Hashtbl.find_opt rs.rs_impl_index op)
 
-let restrict_physical rs d = Descriptor.restrict d rs.rs_physical
+let restrict_physical rs d = Descriptor.restrict_set d rs.rs_physical_set

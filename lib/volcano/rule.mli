@@ -79,6 +79,12 @@ type ruleset = {
   rs_impl : impl_rule list;
   rs_enforcers : enforcer list;
   rs_physical : string list;  (** the physical property names *)
+  rs_physical_set : Prairie.Descriptor.String_set.t;
+      (** [rs_physical] as a set, built once by {!make_ruleset} so
+          {!restrict_physical} never rebuilds it *)
+  rs_impl_index : (string, impl_rule list) Hashtbl.t;
+      (** impl rules grouped by operator (in [rs_impl] order), built once
+          by {!make_ruleset}; {!impl_rules_for} reads it *)
   rs_satisfies :
     required:Prairie.Descriptor.t -> actual:Prairie.Descriptor.t -> bool;
       (** does an achieved physical-property vector satisfy a required
@@ -102,6 +108,7 @@ val make_ruleset :
   ruleset
 
 val impl_rules_for : ruleset -> string -> impl_rule list
+(** O(1) lookup of the impl rules for an operator, in [rs_impl] order. *)
 
 val restrict_physical : ruleset -> Prairie.Descriptor.t -> Prairie.Descriptor.t
 (** Project a descriptor onto the rule set's physical properties. *)

@@ -7,24 +7,37 @@ let log_src = Logs.Src.create "prairie.search" ~doc:"Volcano search tracing"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+type exploration = [ `Worklist | `Rescan ]
+
 type t = {
   memo : Memo.t;
   rules : Rule.ruleset;
+  trans_rules : (int * Rule.trans_rule) list;
+      (** [rs_trans] paired with its small integer rule ids (list position),
+          the key space of the memo's [tried] table *)
+  restrict_cache : Descriptor.t Descriptor.Tbl.t;
+      (** memoized [Rule.restrict_physical] — the projection runs once per
+          distinct descriptor instead of once per optimize call *)
   st : Stats.t;
   pruning : bool;
   group_budget : int option;
+  exploration : exploration;
   mutable budget_hit : bool;
   trace : Trace.t option;
 }
 
-let create ?(pruning = true) ?group_budget ?trace rules =
+let create ?(pruning = true) ?group_budget ?(exploration = `Worklist) ?trace
+    rules =
   let st = Stats.create () in
   {
     memo = Memo.create ~stats:st ?trace ();
     rules;
+    trans_rules = List.mapi (fun i tr -> (i, tr)) rules.Rule.rs_trans;
+    restrict_cache = Descriptor.Tbl.create 64;
     st;
     pruning;
     group_budget;
+    exploration;
     budget_hit = false;
     trace;
   }
@@ -53,6 +66,16 @@ let memo t = t.memo
 let stats t = t.st
 let group_count t = Memo.group_count t.memo
 
+let restrict_req ctx d =
+  if Descriptor.is_empty d then d
+  else
+    match Descriptor.Tbl.find_opt ctx.restrict_cache d with
+    | Some r -> r
+    | None ->
+      let r = Rule.restrict_physical ctx.rules d in
+      Descriptor.Tbl.replace ctx.restrict_cache d r;
+      r
+
 (* Matching environments: stream variables bind groups; descriptor
    variables bind descriptors (group descriptors for [Di], lexpr arguments
    for operator descriptor variables). *)
@@ -75,63 +98,44 @@ let gtree_of_tmpl (tmpl : Pattern.tmpl) streams descs =
   go tmpl
 
 (* Exploration generates all members of a group by applying trans rules to
-   fixpoint; multi-level patterns recursively explore input groups. *)
+   fixpoint; multi-level patterns recursively explore input groups.
+
+   The fixpoint is driven as a worklist: each round snapshots the group's
+   member list and processes only the members not seen by a previous round,
+   so a round costs O(new members × rules) instead of O(all members ×
+   rules).  Merges fold the dead group's members into the snapshot of the
+   next round.  Because the per-(lexpr, rule) [rule_tried] guard is what
+   actually gates rule application — and it is maintained identically — the
+   worklist applies exactly the same rules in exactly the same order as the
+   legacy whole-group rescan ([`Rescan], kept for differential testing). *)
 let rec explore ctx gid =
   let g = Memo.canonical ctx.memo gid in
   if Memo.is_explored ctx.memo g || Memo.is_exploring ctx.memo g then ()
   else begin
     Memo.set_exploring ctx.memo g true;
+    let processed =
+      match ctx.exploration with
+      | `Worklist -> Some (Hashtbl.create 32)
+      | `Rescan -> None
+    in
     let changed = ref true in
     while !changed && not (budget_exhausted ctx) do
       changed := false;
       let merges_before = ctx.st.Stats.groups_merged in
-      let members = Memo.lexprs ctx.memo g in
+      let members =
+        match processed with
+        | None -> Memo.lexprs ctx.memo g
+        | Some seen ->
+          List.filter
+            (fun (le : Memo.lexpr) -> not (Hashtbl.mem seen le.Memo.id))
+            (Memo.lexprs ctx.memo g)
+      in
       List.iter
-        (fun le ->
-          List.iter
-            (fun (tr : Rule.trans_rule) ->
-              if not (Memo.rule_tried ctx.memo le tr.tr_name) then begin
-                Memo.mark_rule_tried ctx.memo le tr.tr_name;
-                let envs = match_lexpr ctx tr.tr_lhs le empty_menv in
-                if envs <> [] then begin
-                  Stats.record_trans_match ctx.st tr.tr_name;
-                  emit ctx (fun () ->
-                      Trace.Trans_matched
-                        {
-                          rule = tr.tr_name;
-                          gid = g;
-                          bindings = List.length envs;
-                        })
-                end;
-                List.iter
-                  (fun env ->
-                    match tr.tr_cond env.descs with
-                    | None ->
-                      emit ctx (fun () ->
-                          Trace.Trans_rejected
-                            {
-                              rule = tr.tr_name;
-                              gid = g;
-                              reason = Trace.Test_failed;
-                            })
-                    | Some descs ->
-                      let descs = tr.tr_appl descs in
-                      Stats.record_trans_applied ctx.st tr.tr_name;
-                      emit ctx (fun () ->
-                          Trace.Trans_applied { rule = tr.tr_name; gid = g });
-                      Log.debug (fun m ->
-                          m "group %d: trans rule %s fired" g tr.tr_name);
-                      ctx.st.Stats.trans_applications <-
-                        ctx.st.Stats.trans_applications + 1;
-                      let gtree = gtree_of_tmpl tr.tr_rhs env.streams descs in
-                      let target = Memo.canonical ctx.memo g in
-                      let _, fresh =
-                        Memo.insert_gtree ctx.memo ~into:target gtree
-                      in
-                      if fresh then changed := true)
-                  envs
-              end)
-            ctx.rules.Rule.rs_trans)
+        (fun (le : Memo.lexpr) ->
+          (match processed with
+          | Some seen -> Hashtbl.replace seen le.Memo.id ()
+          | None -> ());
+          apply_trans_rules ctx g le ~changed)
         members;
       if ctx.st.Stats.groups_merged > merges_before then changed := true
     done;
@@ -139,6 +143,50 @@ let rec explore ctx gid =
     Memo.set_exploring ctx.memo g false;
     Memo.set_explored ctx.memo g true
   end
+
+and apply_trans_rules ctx g le ~changed =
+  List.iter
+    (fun (tr_id, (tr : Rule.trans_rule)) ->
+      if not (Memo.rule_tried ctx.memo le tr_id) then begin
+        Memo.mark_rule_tried ctx.memo le tr_id;
+        let envs = match_lexpr ctx tr.tr_lhs le empty_menv in
+        if envs <> [] then begin
+          Stats.record_trans_match ctx.st tr.tr_name;
+          emit ctx (fun () ->
+              Trace.Trans_matched
+                {
+                  rule = tr.tr_name;
+                  gid = g;
+                  bindings = List.length envs;
+                })
+        end;
+        List.iter
+          (fun env ->
+            match tr.tr_cond env.descs with
+            | None ->
+              emit ctx (fun () ->
+                  Trace.Trans_rejected
+                    {
+                      rule = tr.tr_name;
+                      gid = g;
+                      reason = Trace.Test_failed;
+                    })
+            | Some descs ->
+              let descs = tr.tr_appl descs in
+              Stats.record_trans_applied ctx.st tr.tr_name;
+              emit ctx (fun () ->
+                  Trace.Trans_applied { rule = tr.tr_name; gid = g });
+              Log.debug (fun m ->
+                  m "group %d: trans rule %s fired" g tr.tr_name);
+              ctx.st.Stats.trans_applications <-
+                ctx.st.Stats.trans_applications + 1;
+              let gtree = gtree_of_tmpl tr.tr_rhs env.streams descs in
+              let target = Memo.canonical ctx.memo g in
+              let _, fresh = Memo.insert_gtree ctx.memo ~into:target gtree in
+              if fresh then changed := true)
+          envs
+      end)
+    ctx.trans_rules
 
 (* All bindings of [pat] against a specific lexpr. *)
 and match_lexpr ctx (pat : Pattern.t) (le : Memo.lexpr) env : menv list =
@@ -184,7 +232,7 @@ let infinity_limit = infinity
 
 (* FindBestPlan *)
 let rec optimize_group ctx gid ~req ~limit : Plan.t option =
-  let req = Rule.restrict_physical ctx.rules req in
+  let req = restrict_req ctx req in
   let g = Memo.canonical ctx.memo gid in
   ctx.st.Stats.optimize_calls <- ctx.st.Stats.optimize_calls + 1;
   match Memo.find_winner ctx.memo g req with
@@ -240,9 +288,7 @@ and search_group ctx g ~req ~limit =
     List.iter
       (fun (en : Rule.enforcer) ->
         if en.Rule.en_applies ~req then begin
-          let relaxed =
-            Rule.restrict_physical ctx.rules (en.Rule.en_relaxed ~req)
-          in
+          let relaxed = restrict_req ctx (en.Rule.en_relaxed ~req) in
           if not (Descriptor.equal relaxed req) then
             match optimize_group ctx g ~req:relaxed ~limit:(budget ()) with
             | None -> ()
@@ -368,5 +414,5 @@ and cost_lexpr ctx g le ~req ~budget ~consider =
 
 let optimize ?(required = Descriptor.empty) ctx expr =
   let g = Memo.insert_expr ctx.memo expr in
-  let req = Rule.restrict_physical ctx.rules required in
+  let req = restrict_req ctx required in
   optimize_group ctx g ~req ~limit:infinity_limit

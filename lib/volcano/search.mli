@@ -9,6 +9,15 @@
 
 type t
 
+type exploration = [ `Worklist | `Rescan ]
+(** How {!explore_group} drives its fixpoint.  [`Worklist] (the default)
+    revisits only members inserted since the last round; [`Rescan] is the
+    legacy whole-group rescan, kept as a differential-testing oracle.  Both
+    apply the same rules to the same lexprs in the same order — the
+    per-(lexpr, rule) tried-guard gates applications identically — so
+    memos, plans and costs are bit-for-bit equal; only the iteration cost
+    differs. *)
+
 val log_src : Logs.src
 (** Debug-level tracing of exploration, rule firings and winners; enable
     with [Logs.Src.set_level Search.log_src (Some Logs.Debug)]. *)
@@ -16,6 +25,7 @@ val log_src : Logs.src
 val create :
   ?pruning:bool ->
   ?group_budget:int ->
+  ?exploration:exploration ->
   ?trace:Prairie_obs.Trace.t ->
   Rule.ruleset ->
   t
@@ -44,6 +54,11 @@ val budget_was_hit : t -> bool
 val ruleset : t -> Rule.ruleset
 val memo : t -> Memo.t
 val stats : t -> Stats.t
+
+val restrict_req : t -> Prairie.Descriptor.t -> Prairie.Descriptor.t
+(** [Rule.restrict_physical] memoized per descriptor in this context (the
+    projection of a requirement onto the rule set's physical properties is
+    recomputed constantly along the search recursion). *)
 
 val optimize :
   ?required:Prairie.Descriptor.t -> t -> Prairie.Expr.t -> Plan.t option

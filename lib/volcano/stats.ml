@@ -9,6 +9,8 @@ type t = {
   mutable memo_hits : int;
   mutable optimize_calls : int;
   mutable pruned : int;
+  mutable winner_probes : int;
+  mutable winner_hits : int;
   trans_matched : (string, unit) Hashtbl.t;
   impl_matched : (string, unit) Hashtbl.t;
   trans_applied : (string, unit) Hashtbl.t;
@@ -27,6 +29,8 @@ let create () =
     memo_hits = 0;
     optimize_calls = 0;
     pruned = 0;
+    winner_probes = 0;
+    winner_hits = 0;
     trans_matched = Hashtbl.create 32;
     impl_matched = Hashtbl.create 32;
     trans_applied = Hashtbl.create 32;
@@ -44,6 +48,8 @@ let reset t =
   t.memo_hits <- 0;
   t.optimize_calls <- 0;
   t.pruned <- 0;
+  t.winner_probes <- 0;
+  t.winner_hits <- 0;
   Hashtbl.reset t.trans_matched;
   Hashtbl.reset t.impl_matched;
   Hashtbl.reset t.trans_applied;
@@ -70,8 +76,9 @@ let pp ppf t =
     "@[<v>groups: %d (merged %d)@,logical expressions: %d (dups %d)@,\
      trans applications: %d (distinct matched %d)@,\
      impl firings: %d (distinct matched %d)@,\
-     enforcer firings: %d@,memo hits: %d@,optimize calls: %d@,pruned: %d@]"
+     enforcer firings: %d@,memo hits: %d@,optimize calls: %d@,pruned: %d@,\
+     winner probes: %d (hits %d)@]"
     t.groups_created t.groups_merged t.lexprs_created t.lexpr_duplicates
     t.trans_applications (trans_matched_count t) t.impl_firings
     (impl_matched_count t) t.enforcer_firings t.memo_hits t.optimize_calls
-    t.pruned
+    t.pruned t.winner_probes t.winner_hits

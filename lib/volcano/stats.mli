@@ -14,6 +14,8 @@ type t = {
   mutable memo_hits : int;
   mutable optimize_calls : int;
   mutable pruned : int;  (** sub-searches abandoned by the cost limit *)
+  mutable winner_probes : int;  (** winner-table lookups *)
+  mutable winner_hits : int;  (** winner-table lookups answered *)
   trans_matched : (string, unit) Hashtbl.t;
       (** distinct trans rules whose LHS matched *)
   impl_matched : (string, unit) Hashtbl.t;

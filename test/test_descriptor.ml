@@ -99,6 +99,46 @@ let property_based =
         = List.length (D.to_list d));
   ]
 
+(* Interning: hash-consed descriptors must be observationally identical to
+   the plain-map representation — same equality, ordering, fingerprints —
+   and equal descriptors must be interchangeable wherever one is used as a
+   hash-table key. *)
+let shuffle l =
+  List.map snd
+    (List.sort
+       (fun (a, _) (b, _) -> Int.compare a b)
+       (List.mapi (fun i x -> ((i * 7919) mod 101, x)) l))
+
+let interning_based =
+  [
+    qtest "equal, compare and fingerprint agree"
+      (QCheck2.Gen.pair gen_desc gen_desc) (fun (d1, d2) ->
+        let eq = D.equal d1 d2 in
+        eq = (D.compare d1 d2 = 0)
+        && eq = String.equal (D.fingerprint d1) (D.fingerprint d2));
+    qtest "same bindings intern to the same descriptor" gen_desc (fun d ->
+        let rebuilt = D.of_list (shuffle (D.to_list d)) in
+        D.equal d rebuilt && D.hash d = D.hash rebuilt);
+    qtest "equal descriptors are interchangeable Tbl keys"
+      (QCheck2.Gen.pair gen_desc gen_desc) (fun (d1, d2) ->
+        let tbl = D.Tbl.create 4 in
+        D.Tbl.replace tbl d1 ();
+        D.Tbl.mem tbl (D.of_list (shuffle (D.to_list d1)))
+        && D.Tbl.mem tbl d2 = D.equal d1 d2);
+    qtest "restrict_set agrees with restrict" gen_desc (fun d ->
+        let keys = [ "p"; "q"; "t" ] in
+        let set = D.String_set.of_list keys in
+        D.equal (D.restrict_set d set) (D.restrict d keys)
+        && D.equal (D.without_set d set) (D.without d keys));
+    qtest "incremental hash matches rebuilt hash"
+      (QCheck2.Gen.triple gen_desc (QCheck2.Gen.oneofl [ "p"; "q"; "u" ])
+         gen_value) (fun (d, k, v) ->
+        (* drive set/remove (the incremental XOR path) and compare against a
+           from-scratch rebuild (the fold path) *)
+        let d' = D.remove (D.set d k v) "r" in
+        D.hash d' = D.hash (D.of_list (D.to_list d')));
+  ]
+
 let property_tests =
   [
     Alcotest.test_case "declare defaults by type" `Quick (fun () ->
@@ -131,5 +171,6 @@ let suites =
   [
     ("descriptor.basic", basic_tests);
     ("descriptor.properties", property_based);
+    ("descriptor.interning", interning_based);
     ("descriptor.schema", property_tests);
   ]

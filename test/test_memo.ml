@@ -89,10 +89,10 @@ let merge_tests =
         let m = Memo.create () in
         let g = Memo.insert_expr m (Expr.operator "RET" (d "r") [ Expr.stored ~desc:(d "f") "F" ]) in
         let le = List.hd (Memo.lexprs m g) in
-        check "untried" false (Memo.rule_tried m le "r1");
-        Memo.mark_rule_tried m le "r1";
-        check "tried" true (Memo.rule_tried m le "r1");
-        check "other rule untried" false (Memo.rule_tried m le "r2"));
+        check "untried" false (Memo.rule_tried m le 1);
+        Memo.mark_rule_tried m le 1;
+        check "tried" true (Memo.rule_tried m le 1);
+        check "other rule untried" false (Memo.rule_tried m le 2));
   ]
 
 let suites = [ ("memo.basic", basic_tests); ("memo.merge", merge_tests) ]

@@ -343,7 +343,7 @@ let test_trace_budget_and_memo_hits () =
 
 let digest plan =
   match plan with
-  | Some p -> Digest.string (Marshal.to_string (p : Plan.t) [])
+  | Some p -> Prairie.Expr.fingerprint (Plan.to_expr p)
   | None -> ""
 
 let gen_request =

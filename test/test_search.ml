@@ -138,6 +138,38 @@ let pruning_equivalence seed =
   | None, None -> true
   | Some _, None | None, Some _ -> false
 
+(* The worklist explorer's contract: `Worklist and `Rescan exploration are
+   bit-for-bit equivalent — same plan (by canonical fingerprint), same cost,
+   same memo shape — on any rule set and query.  The worklist only changes
+   which members each fixpoint round re-examines, never which rules fire. *)
+module Memo = Prairie_volcano.Memo
+
+let run_exploration ?required catalog q exploration =
+  let ctx = Search.create ~exploration (volcano_of catalog) in
+  (Search.optimize ?required ctx q, ctx)
+
+let exploration_equivalence ?required seed =
+  let catalog, q = random_setup seed in
+  let pw, cw = run_exploration ?required catalog q `Worklist in
+  let pr, cr = run_exploration ?required catalog q `Rescan in
+  Search.group_count cw = Search.group_count cr
+  && Memo.lexpr_count (Search.memo cw) = Memo.lexpr_count (Search.memo cr)
+  &&
+  match (pw, pr) with
+  | Some a, Some b ->
+    Float.equal (Plan.cost a) (Plan.cost b)
+    && String.equal
+         (Expr.fingerprint (Plan.to_expr a))
+         (Expr.fingerprint (Plan.to_expr b))
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+
+let exploration_equivalence_ordered seed =
+  let required =
+    D.of_list [ ("tuple_order", V.Order (O.sorted_on (attr "R1" "b"))) ]
+  in
+  exploration_equivalence ~required seed
+
 let qtest name prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~name ~count:40 QCheck2.Gen.(0 -- 10_000) prop)
@@ -148,6 +180,10 @@ let property_tests =
     qtest "volcano cost equals the oracle under a required order"
       oracle_agreement_ordered;
     qtest "branch-and-bound pruning never changes the answer" pruning_equivalence;
+    qtest "worklist and rescan exploration are bit-for-bit equivalent"
+      (fun seed -> exploration_equivalence seed);
+    qtest "worklist equals rescan under a required order"
+      exploration_equivalence_ordered;
   ]
 
 (* Deterministic coverage for the two search knobs: the group-budget
@@ -205,6 +241,32 @@ let knob_tests =
             | None, None -> ()
             | _ -> Alcotest.fail "pruning changed plan existence")
           [ 11; 22; 33; 44; 55 ]);
+    Alcotest.test_case "worklist equals rescan on the OODB rule set" `Quick
+      (fun () ->
+        List.iter
+          (fun (q, joins) ->
+            let inst = W.Queries.instance q ~joins ~seed:101 in
+            let opt = Opt.oodb_prairie inst.W.Queries.catalog in
+            let expr, required = opt.Opt.prepare inst.W.Queries.expr in
+            let run exploration =
+              let ctx = Search.create ~exploration opt.Opt.volcano in
+              (Search.optimize ~required ctx expr, ctx)
+            in
+            let pw, cw = run `Worklist in
+            let pr, cr = run `Rescan in
+            Alcotest.(check int)
+              "same group count" (Search.group_count cr)
+              (Search.group_count cw);
+            match (pw, pr) with
+            | Some a, Some b ->
+              checkf "same cost" (Plan.cost a) (Plan.cost b);
+              Alcotest.(check string)
+                "same plan"
+                (Expr.fingerprint (Plan.to_expr b))
+                (Expr.fingerprint (Plan.to_expr a))
+            | None, None -> ()
+            | _ -> Alcotest.fail "exploration mode changed plan existence")
+          [ (W.Queries.Q1, 2); (W.Queries.Q3, 1); (W.Queries.Q5, 2) ]);
     Alcotest.test_case "pruning:false matches pruning:true (OODB Q1/Q3)" `Quick
       (fun () ->
         List.iter

@@ -34,7 +34,7 @@ let gen_request =
 
 let digest served =
   match served with
-  | Some p -> Digest.string (Marshal.to_string (p : Plan.t) [])
+  | Some p -> Prairie.Expr.fingerprint (Plan.to_expr p)
   | None -> ""
 
 (* ------------------------------------------------------------------ *)

@@ -21,6 +21,8 @@ let populated () =
   t.Stats.memo_hits <- 8;
   t.Stats.optimize_calls <- 9;
   t.Stats.pruned <- 10;
+  t.Stats.winner_probes <- 11;
+  t.Stats.winner_hits <- 12;
   Stats.record_trans_match t "t1";
   Stats.record_trans_match t "t2";
   Stats.record_impl_match t "i1";
@@ -40,7 +42,9 @@ let test_reset_scalars () =
   checki "enforcer_firings" 0 t.Stats.enforcer_firings;
   checki "memo_hits" 0 t.Stats.memo_hits;
   checki "optimize_calls" 0 t.Stats.optimize_calls;
-  checki "pruned" 0 t.Stats.pruned
+  checki "pruned" 0 t.Stats.pruned;
+  checki "winner_probes" 0 t.Stats.winner_probes;
+  checki "winner_hits" 0 t.Stats.winner_hits
 
 let test_reset_rule_sets () =
   let t = populated () in
@@ -81,7 +85,8 @@ let test_pp_stability () =
      enforcer firings: 7\n\
      memo hits: 8\n\
      optimize calls: 9\n\
-     pruned: 10"
+     pruned: 10\n\
+     winner probes: 11 (hits 12)"
     (Format.asprintf "%a" Stats.pp t);
   Stats.reset t;
   checks "pp of a fresh value"
@@ -92,7 +97,8 @@ let test_pp_stability () =
      enforcer firings: 0\n\
      memo hits: 0\n\
      optimize calls: 0\n\
-     pruned: 0"
+     pruned: 0\n\
+     winner probes: 0 (hits 0)"
     (Format.asprintf "%a" Stats.pp t)
 
 let suites =
