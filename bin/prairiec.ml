@@ -3,6 +3,7 @@
    Subcommands:
      check    parse and validate a .prairie file
      lint     static analysis: structured diagnostics with stable codes
+     verify   semantic verification: randomized counterexample search (P2xx)
      report   run the P2V pre-processor and print the translation report
      render   export an embedded rule set as .prairie source
      optimize run a workload query through a rule set
@@ -60,6 +61,22 @@ let file_arg =
     & pos 0 (some file) None
     & info [] ~docv:"FILE" ~doc:"Rule-specification file (.prairie).")
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 (* ---------------- check ---------------- *)
 
 let check_cmd =
@@ -102,22 +119,6 @@ let lint_cmd =
       & opt (some int) None
       & info [ "max-warnings" ] ~docv:"N"
           ~doc:"Fail (exit 2) when more than $(docv) warnings are found.")
-  in
-  let json_escape s =
-    let buf = Buffer.create (String.length s + 2) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | '\t' -> Buffer.add_string buf "\\t"
-        | '\r' -> Buffer.add_string buf "\\r"
-        | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s;
-    Buffer.contents buf
   in
   let run files format max_warnings =
     let helpers = Prairie_algebra.Helpers.env (default_catalog ()) in
@@ -173,6 +174,152 @@ let lint_cmd =
           stable diagnostic codes (P001...). Exits 1 on errors, 2 when \
           $(b,--max-warnings) is exceeded.")
     Term.(ret (const run $ files_arg $ format_arg $ max_warnings_arg))
+
+(* ---------------- verify ---------------- *)
+
+let verify_cmd =
+  let module Verify = Prairie_verify.Verify in
+  let module Diag = Prairie.Diagnostic in
+  let files_arg =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Rule-specification files (.prairie).")
+  in
+  let rules_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "rules" ] ~docv:"RULE"
+          ~doc:
+            "Restrict verification to the named T-rule (repeatable). \
+             Skips the whole-rule-set oracle phase.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int Verify.default_config.Verify.seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Master random seed; every case seed derives from it.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt int Verify.default_config.Verify.budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Generated cases per T-rule (and oracle queries).")
+  in
+  let oracle_forms_arg =
+    Arg.(
+      value
+      & opt int Verify.default_config.Verify.oracle_forms
+      & info [ "oracle-forms" ] ~docv:"N"
+          ~doc:
+            "Logical-closure cap for the naive-oracle comparison; queries \
+             whose closure reaches the cap are skipped (the naive best \
+             would not be authoritative).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let max_warnings_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-warnings" ] ~docv:"N"
+          ~doc:"Fail (exit 2) when more than $(docv) warnings are found.")
+  in
+  let run files rules seed budget oracle_forms format max_warnings =
+    let config =
+      { Verify.default_config with Verify.seed; budget; oracle_forms; rules }
+    in
+    let results =
+      List.map (fun path -> (path, Verify.verify_file ~config path)) files
+    in
+    let total_errors =
+      List.fold_left
+        (fun n (_, (r : Verify.report)) ->
+          n + (fun (e, _, _) -> e) (Verify.summary r.Verify.diagnostics))
+        0 results
+    in
+    let total_warnings =
+      List.fold_left
+        (fun n (_, (r : Verify.report)) ->
+          n + (fun (_, w, _) -> w) (Verify.summary r.Verify.diagnostics))
+        0 results
+    in
+    (match format with
+    | `Text ->
+      List.iter
+        (fun (path, (r : Verify.report)) ->
+          (match r.Verify.diagnostics with
+          | [] -> Printf.printf "%s: clean\n" path
+          | ds ->
+            List.iter
+              (fun d -> Printf.printf "%s: %s\n" path (Diag.to_string d))
+              ds);
+          Printf.printf
+            "%s: %d rule(s) checked, %d case(s), %d counterexample(s), %d \
+             shrink step(s) (seed %d)\n"
+            path r.Verify.rules_checked r.Verify.cases_generated
+            r.Verify.counterexamples r.Verify.shrink_steps r.Verify.seed)
+        results;
+      if total_errors > 0 || total_warnings > 0 then
+        Printf.printf "%d error(s), %d warning(s)\n" total_errors
+          total_warnings
+    | `Json ->
+      let rule_json (r : Verify.rule_report) =
+        Printf.sprintf
+          "{\"rule\":\"%s\",\"cases\":%d,\"redexes\":%d,\
+           \"counterexamples\":%d,\"shrink_steps\":%d}"
+          (json_escape r.Verify.rule) r.Verify.cases r.Verify.redexes
+          r.Verify.counterexamples r.Verify.shrink_steps
+      in
+      let file_json (path, (r : Verify.report)) =
+        let e, w, _ = Verify.summary r.Verify.diagnostics in
+        Printf.sprintf
+          "{\"file\":\"%s\",\"ruleset\":\"%s\",\"seed\":%d,\
+           \"diagnostics\":[%s],\"errors\":%d,\"warnings\":%d,\
+           \"rules_checked\":%d,\"cases_generated\":%d,\
+           \"counterexamples\":%d,\"shrink_steps\":%d,\"rules\":[%s]}"
+          (json_escape path)
+          (json_escape r.Verify.ruleset)
+          r.Verify.seed
+          (String.concat "," (List.map Diag.to_json r.Verify.diagnostics))
+          e w r.Verify.rules_checked r.Verify.cases_generated
+          r.Verify.counterexamples r.Verify.shrink_steps
+          (String.concat "," (List.map rule_json r.Verify.rules))
+      in
+      Printf.printf
+        "{\"files\":[%s],\"total_errors\":%d,\"total_warnings\":%d,\
+         \"seed\":%d}\n"
+        (String.concat "," (List.map file_json results))
+        total_errors total_warnings seed);
+    if total_errors > 0 then exit 1;
+    (match max_warnings with
+    | Some n when total_warnings > n ->
+      Printf.eprintf "too many warnings: %d (allowed: %d)\n" total_warnings n;
+      exit 2
+    | _ -> ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Semantically verify rule-specification files: generate random \
+          catalogs and expressions per T-rule, apply the rules, and hunt \
+          for crashes, root-property changes, oracle cost divergence and \
+          run-time rewrite cycles (P2xx codes), shrinking counterexamples \
+          to minimal witnesses. Deterministic in $(b,--seed). Exits 1 on \
+          errors, 2 when $(b,--max-warnings) is exceeded.")
+    Term.(
+      ret
+        (const run $ files_arg $ rules_arg $ seed_arg $ budget_arg
+       $ oracle_forms_arg $ format_arg $ max_warnings_arg))
 
 (* ---------------- report ---------------- *)
 
@@ -618,6 +765,7 @@ let () =
           [
             check_cmd;
             lint_cmd;
+            verify_cmd;
             report_cmd;
             render_cmd;
             optimize_cmd;

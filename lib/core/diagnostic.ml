@@ -64,6 +64,27 @@ let normalize ds = List.sort_uniq compare ds
 let errors ds = List.filter is_error ds
 let warnings ds = List.filter is_warning ds
 
+let summary ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+(* Checkers (lint, verify) publish their code tables in this shape so the
+   CLI and docs can enumerate them uniformly.  The P-code namespace is
+   shared: P0xx static lint, P2xx semantic verification. *)
+type catalogue = (string * severity * string) list
+
+let catalogue_find catalogue code =
+  List.find_map
+    (fun (c, sev, descr) -> if String.equal c code then Some (sev, descr) else None)
+    catalogue
+
+let catalogue_codes catalogue = List.map (fun (c, _, _) -> c) catalogue
+
 let to_string d =
   let b = Buffer.create 80 in
   Buffer.add_string b (severity_to_string d.severity);

@@ -53,6 +53,19 @@ val compare : t -> t -> int
 val normalize : t list -> t list
 (** Deduplicate and sort into the stable report order. *)
 
+val summary : t list -> int * int * int
+(** [(errors, warnings, infos)] counts. *)
+
+type catalogue = (string * severity * string) list
+(** A checker's code table: [(code, default severity, description)].  The
+    P-code namespace is shared across checkers — P0xx are static lint
+    findings, P2xx semantic verification findings — so tooling can treat
+    [prairiec lint] and [prairiec verify] reports uniformly. *)
+
+val catalogue_find : catalogue -> string -> (severity * string) option
+
+val catalogue_codes : catalogue -> string list
+
 val to_string : t -> string
 (** ["error[P005] 12:3 (join_commute): ..."] with an optional hint line. *)
 

@@ -14,7 +14,7 @@ module Order = Prairie_value.Order
 module Enforcers = Prairie_p2v.Enforcers
 module Classify = Prairie_p2v.Classify
 
-let catalogue =
+let catalogue : D.catalogue =
   [
     ("P000", D.Error, "syntax error (lexing or parsing failed)");
     ("P001", D.Error, "reference to an undeclared property");
@@ -907,11 +907,4 @@ let lint_file ?helpers path =
   in
   lint_string ?helpers src
 
-let summary ds =
-  List.fold_left
-    (fun (e, w, i) (d : D.t) ->
-      match d.D.severity with
-      | D.Error -> (e + 1, w, i)
-      | D.Warning -> (e, w + 1, i)
-      | D.Info -> (e, w, i + 1))
-    (0, 0, 0) ds
+let summary = D.summary

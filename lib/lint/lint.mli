@@ -25,7 +25,7 @@
     [// lint:allow P030 -- justification].  Pragmas never downgrade
     errors. *)
 
-val catalogue : (string * Prairie.Diagnostic.severity * string) list
+val catalogue : Prairie.Diagnostic.catalogue
 (** Every diagnostic code the linter can emit, with its default severity
     and a one-line description.  [P000] is the syntax-error code used by
     {!lint_string} / {!lint_file} when parsing fails. *)
@@ -51,7 +51,15 @@ val lint_file :
 
 val allow_pragmas : string -> (string * int) list
 (** The [(code, line)] pairs of every [lint:allow] pragma in the source,
-    in order of appearance. *)
+    in order of appearance.  The pragma namespace is shared with
+    {!Prairie_verify}: a [lint:allow P230] pragma downgrades the verifier's
+    P230 warnings the same way. *)
+
+val apply_pragmas : (string * int) list -> Prairie.Diagnostic.t list -> Prairie.Diagnostic.t list
+(** Downgrade warnings whose code appears in the pragma list to [Info],
+    recording the pragma line in the hint.  Errors are never downgraded.
+    Exposed so other diagnostic producers (the semantic verifier) honor
+    the same pragmas. *)
 
 val summary : Prairie.Diagnostic.t list -> int * int * int
 (** [(errors, warnings, infos)] counts. *)

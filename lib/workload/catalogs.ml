@@ -53,13 +53,22 @@ let star_join_pred i =
       Predicate.T_attr (hub_ref i),
       Predicate.T_attr (Attribute.make ~owner:(satellite_name i) ~name:"oid") )
 
-let make_star spec =
-  let rng = Rng.create spec.seed in
+(* Cardinality draws are sequenced explicitly ([init_seq], one draw per
+   file, in file order) rather than buried inside list literals or
+   [List.init]: OCaml evaluates list literals right-to-left and leaves the
+   application order of [List.init] unspecified, so a draw hidden in
+   [[ base i; detail i ]] would consume the stream in an order the
+   language definition does not promise to keep.  With the explicit
+   sequencing, the same [Rng.t] state always yields the same catalog. *)
+let init_seq n f =
+  let rec go i acc = if i > n then List.rev acc else go (i + 1) (f i :: acc) in
+  go 1 []
+
+let make_star_rng rng spec =
   let lo, hi = spec.card_range in
   let dlo, dhi = spec.detail_card_range in
-  let satellite i =
+  let satellite i card =
     let name = satellite_name i in
-    let card = Rng.in_range rng dlo dhi in
     let indexes =
       if spec.indexed then
         [
@@ -77,25 +86,28 @@ let make_star spec =
         Stored_file.column ~distinct:200 name (Printf.sprintf "bS%d" i);
       ]
   in
+  let hub_card = Rng.in_range rng lo hi in
   let hub =
-    let card = Rng.in_range rng lo hi in
-    Stored_file.make ~name:hub_name ~cardinality:card ~tuple_size:150
-      (Stored_file.column ~distinct:card hub_name "oid"
+    Stored_file.make ~name:hub_name ~cardinality:hub_card ~tuple_size:150
+      (Stored_file.column ~distinct:hub_card hub_name "oid"
       :: List.init spec.classes (fun k ->
              Stored_file.column ~distinct:50
                ~ref_to:(satellite_name (k + 1))
                hub_name
                (Printf.sprintf "hS%d" (k + 1))))
   in
-  Catalog.of_files (hub :: List.init spec.classes (fun k -> satellite (k + 1)))
+  let satellites =
+    init_seq spec.classes (fun i -> satellite i (Rng.in_range rng dlo dhi))
+  in
+  Catalog.of_files (hub :: satellites)
 
-let make spec =
-  let rng = Rng.create spec.seed in
+let make_star spec = make_star_rng (Rng.create spec.seed) spec
+
+let make_rng rng spec =
   let lo, hi = spec.card_range in
   let dlo, dhi = spec.detail_card_range in
-  let base i =
+  let base i card =
     let name = class_name i in
-    let card = Rng.in_range rng lo hi in
     let columns =
       [
         Stored_file.column ~distinct:card name "oid";
@@ -127,9 +139,8 @@ let make spec =
     in
     Stored_file.make ~name ~cardinality:card ~tuple_size:120 ~indexes columns
   in
-  let detail i =
+  let detail i card =
     let name = detail_name i in
-    let card = Rng.in_range rng dlo dhi in
     Stored_file.make ~name ~cardinality:card ~tuple_size:80
       [
         Stored_file.column ~distinct:card name "oid";
@@ -139,4 +150,9 @@ let make spec =
   in
   Catalog.of_files
     (List.concat
-       (List.init spec.classes (fun k -> [ base (k + 1); detail (k + 1) ])))
+       (init_seq spec.classes (fun i ->
+            let b = base i (Rng.in_range rng lo hi) in
+            let d = detail i (Rng.in_range rng dlo dhi) in
+            [ b; d ])))
+
+let make spec = make_rng (Rng.create spec.seed) spec

@@ -27,6 +27,13 @@ val default_spec : classes:int -> indexed:bool -> seed:int -> spec
 (** Cardinalities 200–2000, detail classes 50–500. *)
 
 val make : spec -> Prairie_catalog.Catalog.t
+(** [make_rng (Rng.create spec.seed) spec]. *)
+
+val make_rng : Prairie_util.Rng.t -> spec -> Prairie_catalog.Catalog.t
+(** Like {!make}, but drawing cardinalities from a caller-supplied
+    generator ([spec.seed] is ignored).  Draws are explicitly sequenced in
+    file order, so the same generator state always yields the same catalog
+    — the property the verifier's shrinking relies on. *)
 
 val class_name : int -> string
 (** [class_name i] is ["Ci"] (1-based). *)
@@ -59,6 +66,9 @@ val make_star : spec -> Prairie_catalog.Catalog.t
 (** [spec.classes] counts the satellites; the hub is created on top.
     Satellites have [bSi] selection attributes (indexed when the spec says
     so); the hub has [hSi] references to each satellite. *)
+
+val make_star_rng : Prairie_util.Rng.t -> spec -> Prairie_catalog.Catalog.t
+(** {!make_star} from a caller-supplied generator; see {!make_rng}. *)
 
 val hub_name : string
 val satellite_name : int -> string

@@ -1,0 +1,251 @@
+module Attribute = Prairie_value.Attribute
+module Predicate = Prairie_value.Predicate
+module Order = Prairie_value.Order
+module Value = Prairie_value.Value
+module Stored_file = Prairie_catalog.Stored_file
+module Catalog = Prairie_catalog.Catalog
+module Rng = Prairie_util.Rng
+module Init = Prairie_algebra.Init
+module Expr = Prairie.Expr
+module Descriptor = Prairie.Descriptor
+module Pattern = Prairie.Pattern
+
+type world = {
+  catalog : Catalog.t;
+  classes : int;
+}
+
+(* Draws are sequenced one per let-binding: the language evaluates
+   right-to-left inside constructors and literals, and reproducibility of
+   a case from its seed is the whole point of this module. *)
+let world rng =
+  let classes = Rng.in_range rng 2 3 in
+  let indexed = Rng.bool rng in
+  let lo = Rng.in_range rng 10 200 in
+  let span = Rng.in_range rng 10 800 in
+  let dlo = Rng.in_range rng 5 50 in
+  let dspan = Rng.in_range rng 5 200 in
+  let spec =
+    {
+      Catalogs.classes;
+      indexed;
+      card_range = (lo, lo + span);
+      detail_card_range = (dlo, dlo + dspan);
+      seed = 0;
+    }
+  in
+  { catalog = Catalogs.make_rng rng spec; classes }
+
+let with_catalog w catalog = { w with catalog }
+
+let attrs_of e =
+  match Descriptor.find (Expr.descriptor e) "attributes" with
+  | Some (Value.Attrs l) -> l
+  | _ -> []
+
+let num_records_of e =
+  match Descriptor.find (Expr.descriptor e) "num_records" with
+  | Some (Value.Int n) -> n
+  | Some (Value.Float f) -> int_of_float f
+  | _ -> 1
+
+let tuple_size_of e =
+  match Descriptor.find (Expr.descriptor e) "tuple_size" with
+  | Some (Value.Int n) -> n
+  | _ -> 100
+
+(* Fallback constructor for operators outside the Open OODB vocabulary
+   (fixture rule sets declare their own).  The synthesized descriptor
+   carries the three invariant properties every cost model here reads:
+   the union of input attributes, the largest input cardinality and the
+   summed tuple size. *)
+let generic name children =
+  let attrs =
+    List.sort_uniq Attribute.compare (List.concat_map attrs_of children)
+  in
+  let num_records =
+    List.fold_left (fun acc c -> max acc (num_records_of c)) 1 children
+  in
+  let tuple_size =
+    max 1 (List.fold_left (fun acc c -> acc + tuple_size_of c) 0 children)
+  in
+  let desc =
+    Descriptor.of_list
+      [
+        ("attributes", Value.Attrs attrs);
+        ("num_records", Value.Int num_records);
+        ("tuple_size", Value.Int tuple_size);
+      ]
+  in
+  Expr.operator name desc children
+
+let random_cmp rng attrs =
+  let a = Rng.pick rng attrs in
+  let v = Rng.in_range rng 1 5 in
+  Predicate.Cmp (Predicate.Eq, Predicate.T_attr a, Predicate.T_int v)
+
+let random_join_pred rng l r =
+  match (attrs_of l, attrs_of r) with
+  | (_ :: _ as la), (_ :: _ as ra) ->
+    let a = Rng.pick rng la in
+    let b = Rng.pick rng ra in
+    Predicate.Cmp (Predicate.Eq, Predicate.T_attr a, Predicate.T_attr b)
+  | _ -> Predicate.True
+
+let random_class rng w = Catalogs.class_name (Rng.in_range rng 1 w.classes)
+
+(* A leaf for a stream variable.  RET-vocabulary rule sets get retrieval
+   subtrees (what their I-rules can implement); everything else gets bare
+   stored files.  Occasionally the leaf is a small join so that patterns
+   like SELECT(?1) also see composite inputs. *)
+let leaf rng w ~ops =
+  let stream () =
+    let name = random_class rng w in
+    if List.mem "RET" ops then Init.ret w.catalog name else Init.file w.catalog name
+  in
+  let l = stream () in
+  if List.mem "JOIN" ops && Rng.int rng 4 = 0 then begin
+    let r = stream () in
+    let pred = random_join_pred rng l r in
+    Init.join w.catalog ~pred l r
+  end
+  else l
+
+let ref_attrs w e =
+  List.filter (fun a -> Catalog.ref_target w.catalog a <> None) (attrs_of e)
+
+let set_attrs w e =
+  List.filter (fun a -> Catalog.is_set_valued w.catalog a) (attrs_of e)
+
+let known_node rng w name children =
+  match (name, children) with
+  | "JOIN", [ l; r ] ->
+    let pred = random_join_pred rng l r in
+    Some (Init.join w.catalog ~pred l r)
+  | "SELECT", [ c ] -> (
+    match attrs_of c with
+    | [] -> None
+    | attrs -> Some (Init.select w.catalog ~pred:(random_cmp rng attrs) c))
+  | "SORT", [ c ] -> (
+    match attrs_of c with
+    | [] -> None
+    | attrs ->
+      let a = Rng.pick rng attrs in
+      Some (Init.sort w.catalog ~order:(Order.sorted_on a) c))
+  | "PROJECT", [ c ] -> (
+    match attrs_of c with
+    | [] -> None
+    | attrs ->
+      let keep = List.filter (fun _ -> Rng.bool rng) attrs in
+      let keep = if keep = [] then [ List.hd attrs ] else keep in
+      Some (Init.project w.catalog ~attrs:keep c))
+  | "MAT", [ c ] -> (
+    match ref_attrs w c with
+    | [] -> None
+    | refs -> Some (Init.mat w.catalog ~attr:(Rng.pick rng refs) c))
+  | "UNNEST", [ c ] -> (
+    match set_attrs w c with
+    | [] -> None
+    | sets -> Some (Init.unnest w.catalog ~attr:(Rng.pick rng sets) c))
+  | _ -> None
+
+let rec of_pattern rng w ~ops pat =
+  match pat with
+  | Pattern.Pvar _ -> leaf rng w ~ops
+  | Pattern.Pop ("RET", _, [ Pattern.Pvar _ ]) ->
+    (* RET's stream input is a stored file, not an arbitrary subtree *)
+    let with_pred = Rng.bool rng in
+    let name = random_class rng w in
+    if with_pred then
+      let file = Init.file w.catalog name in
+      Init.ret ~pred:(random_cmp rng (attrs_of file)) w.catalog name
+    else Init.ret w.catalog name
+  | Pattern.Pop (name, _, subs) ->
+    let children =
+      List.rev
+        (List.fold_left
+           (fun acc sub -> of_pattern rng w ~ops sub :: acc)
+           [] subs)
+    in
+    (match known_node rng w name children with
+    | Some e -> e
+    | None -> generic name children)
+
+(* Workload families restricted to the rule set's vocabulary: E2/E4
+   materialize (MAT), E3/E4 select — generating an operator the rule set
+   does not declare would just produce an unoptimizable query. *)
+let family_ok ops = function
+  | Expressions.E1 -> true
+  | Expressions.E2 -> List.mem "MAT" ops
+  | Expressions.E3 -> List.mem "SELECT" ops
+  | Expressions.E4 -> List.mem "MAT" ops && List.mem "SELECT" ops
+
+let expr rng w ~ops =
+  let joins = Rng.in_range rng 1 (max 1 (min 2 (w.classes - 1))) in
+  let families =
+    match List.filter (family_ok ops) Expressions.all_families with
+    | [] -> [ Expressions.E1 ]
+    | fs -> fs
+  in
+  let family = Rng.pick rng families in
+  Expressions.build family w.catalog ~joins
+
+let known_ops =
+  [ "JOIN"; "SELECT"; "SORT"; "PROJECT"; "MAT"; "UNNEST"; "RET" ]
+
+let rec of_vocabulary rng w ~ops ~depth =
+  let names = List.map fst ops in
+  if depth <= 0 || ops = [] then leaf rng w ~ops:names
+  else begin
+    let name, arity = Rng.pick rng ops in
+    if String.equal name "RET" then begin
+      let name = random_class rng w in
+      Init.ret w.catalog name
+    end
+    else begin
+      let children =
+        List.rev
+          (List.fold_left
+             (fun acc _ -> of_vocabulary rng w ~ops ~depth:(depth - 1) :: acc)
+             []
+             (List.init arity Fun.id))
+      in
+      match known_node rng w name children with
+      | Some e -> e
+      | None when List.mem name known_ops -> (
+        (* a known constructor that cannot apply here (e.g. MAT with no
+           reference attribute in scope): skip the node rather than build
+           a malformed one the rule set's helpers would choke on *)
+        match children with
+        | c :: _ -> c
+        | [] -> leaf rng w ~ops:names)
+      | None -> generic name children
+    end
+  end
+
+let shrink_catalog catalog =
+  let changed = ref false in
+  let shrink_file (f : Stored_file.t) =
+    let cardinality =
+      if f.Stored_file.cardinality > 1 then begin
+        changed := true;
+        f.Stored_file.cardinality / 2
+      end
+      else f.Stored_file.cardinality
+    in
+    let columns =
+      List.map
+        (fun (c : Stored_file.column) ->
+          { c with Stored_file.distinct = max 1 (min c.Stored_file.distinct cardinality) })
+        f.Stored_file.columns
+    in
+    { f with Stored_file.cardinality; columns }
+  in
+  let files = List.map shrink_file (Catalog.files catalog) in
+  if !changed then Some (Catalog.of_files files) else None
+
+let catalog_summary catalog =
+  Catalog.files catalog
+  |> List.map (fun (f : Stored_file.t) ->
+         Printf.sprintf "%s(%d)" f.Stored_file.name f.Stored_file.cardinality)
+  |> String.concat " "

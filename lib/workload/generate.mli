@@ -1,0 +1,60 @@
+(** Random catalogs and pattern-directed expressions for the semantic
+    verifier ({!Prairie_verify}).
+
+    Everything here is driven by an explicit {!Prairie_util.Rng.t}; draws
+    are sequenced deterministically, so a case regenerates exactly from
+    its seed.  Catalog statistics (cardinalities, distinct counts) can be
+    shrunk without disturbing the draw sequence: attribute names, index
+    and reference structure are cardinality-independent, which is what
+    lets the verifier re-run a failing case against a smaller catalog. *)
+
+type world = {
+  catalog : Prairie_catalog.Catalog.t;
+  classes : int;  (** number of base classes [C1..Cn] in the catalog *)
+}
+
+val world : Prairie_util.Rng.t -> world
+(** A random Open OODB catalog (2–3 base classes plus details, random
+    cardinality ranges, possibly indexed). *)
+
+val with_catalog : world -> Prairie_catalog.Catalog.t -> world
+(** Replace the catalog (e.g. with a shrunk one), keeping the shape. *)
+
+val expr : Prairie_util.Rng.t -> world -> ops:string list -> Prairie.Expr.t
+(** A random workload-family expression (E1–E4, 1–2 joins) over the
+    world's catalog — only meaningful for rule sets speaking the Open
+    OODB vocabulary (RET/JOIN at minimum; [ops] further restricts the
+    families so the query mentions only declared operators). *)
+
+val of_vocabulary :
+  Prairie_util.Rng.t ->
+  world ->
+  ops:(string * int) list ->
+  depth:int ->
+  Prairie.Expr.t
+(** A random expression over an arbitrary operator vocabulary
+    [(name, arity)] — the generator for rule sets outside the Open OODB
+    vocabulary (e.g. test fixtures).  Known operators use their smart
+    constructors; unknown ones get generic nodes. *)
+
+val of_pattern :
+  Prairie_util.Rng.t ->
+  world ->
+  ops:string list ->
+  Prairie.Pattern.t ->
+  Prairie.Expr.t
+(** An expression matching the shape of a T-rule LHS pattern.  Known
+    operators (JOIN, SELECT, RET, SORT, PROJECT, MAT, UNNEST) are built
+    with {!Prairie_algebra.Init} smart constructors and randomly
+    synthesized parameters; operators outside that vocabulary get a
+    generic node whose descriptor carries synthesized [attributes],
+    [num_records] and [tuple_size].  [ops] is the rule set's operator
+    vocabulary (controls leaf style: RET subtrees vs bare files). *)
+
+val shrink_catalog :
+  Prairie_catalog.Catalog.t -> Prairie_catalog.Catalog.t option
+(** Halve every cardinality above 1 (clamping distinct counts); [None]
+    once nothing can shrink further. *)
+
+val catalog_summary : Prairie_catalog.Catalog.t -> string
+(** One-line [name(cardinality)] listing, for counterexample witnesses. *)

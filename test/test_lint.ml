@@ -11,13 +11,8 @@ module W = Prairie_workload
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let lint src = Lint.lint_string src
-let has code ds = List.exists (fun (d : D.t) -> String.equal d.D.code code) ds
-
-let severity_of code ds =
-  List.filter_map
-    (fun (d : D.t) ->
-      if String.equal d.D.code code then Some d.D.severity else None)
-    ds
+let has = Support.has
+let severity_of = Support.severity_of
 
 (* A spec every check family accepts: all declarations used, every
    operator implemented, descriptors bound before use, costs assigned in
@@ -264,12 +259,7 @@ let fixture_tests =
   Alcotest.test_case "clean fixture has no findings" `Quick (fun () ->
       let ds = lint clean_spec in
       check_int "no diagnostics" 0 (List.length ds))
-  :: List.map
-       (fun (code, bad, good) ->
-         Alcotest.test_case (code ^ " fires and is fixable") `Quick (fun () ->
-             check (code ^ " triggered") true (has code (lint bad));
-             check (code ^ " absent after fix") false (has code (lint good))))
-       fixture_cases
+  :: Support.fixture_tests ~run:lint fixture_cases
 
 let helper_tests =
   [
