@@ -737,17 +737,29 @@ let obs () =
         let m = match !metrics with Some m -> m | None -> Obs.Metrics.create () in
         ignore (Opt.optimize ~trace:sink ~metrics:m opt expr))
   in
+  let t_spans =
+    best (fun () ->
+        let sink = Obs.Span.create () in
+        ignore (Opt.optimize ~spans:sink opt expr))
+  in
   let over t = (t /. Float.max 1e-9 t_off -. 1.0) *. 100.0 in
   Printf.printf "  query Q5, 2 joins, best of %d timing rounds\n" rounds;
   Printf.printf "  %-26s %12s %10s\n" "configuration" "time(ms)" "overhead";
   List.iter
     (fun (label, t) ->
+      S.record_row
+        [
+          ("section", S.Json.Str "obs");
+          ("name", S.Json.Str label);
+          ("time_obs_ms", S.Json.Float t);
+        ];
       Printf.printf "  %-26s %12.4f %+9.2f%%\n" label t (over t))
     [
       ("sinks disabled", t_off);
       ("trace sink", t_trace);
       ("metrics registry", t_metrics);
       ("trace + metrics", t_both);
+      ("span profiler", t_spans);
     ];
   (* the sink must be an observer: same plan, same cost, and the event
      stream accounts for the search the optimizer actually ran *)
@@ -871,6 +883,30 @@ let () =
     | a :: rest -> strip_json (a :: acc) rest
   in
   let json_file, args = strip_json [] args in
+  (* --check BASELINE [--tolerance T]: compare this run's deterministic
+     fields against a previous --json dump (v1 or v2) and exit 1 on any
+     relative deviation beyond T (default 0.25 — generous, because costs
+     can wiggle with catalog randomization tweaks) *)
+  let rec strip_opt name acc = function
+    | [] -> (None, List.rev acc)
+    | [ n ] when n = name ->
+      Printf.eprintf "%s requires an argument\n" name;
+      exit 2
+    | n :: v :: rest when n = name -> (Some v, List.rev_append acc rest)
+    | a :: rest -> strip_opt name (a :: acc) rest
+  in
+  let check_file, args = strip_opt "--check" [] args in
+  let tolerance_s, args = strip_opt "--tolerance" [] args in
+  let tolerance =
+    match tolerance_s with
+    | None -> 0.25
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some t when t >= 0.0 -> t
+      | _ ->
+        Printf.eprintf "--tolerance must be a non-negative number, got %S\n" s;
+        exit 2)
+  in
   let full_flag, named = List.partition (fun a -> a = "--full") args in
   full := full_flag <> [];
   let to_run =
@@ -892,18 +928,29 @@ let () =
   List.iter
     (fun (name, f) ->
       let wall = S.time_once f in
-      S.record_row
-        [
-          ("section", S.Json.Str "wall");
-          ("name", S.Json.Str name);
-          ("wall_ms", S.Json.Float (wall *. 1000.0));
-        ])
+      S.record_wall ~name ~wall_ms:(wall *. 1000.0))
     to_run;
   (match json_file with
   | Some file ->
     S.write_json file ~full:!full ~sections:(List.map fst to_run);
     Printf.printf "\njson results written to %s\n" file
   | None -> ());
+  (match check_file with
+  | None -> ()
+  | Some file -> (
+    match S.check_against ~file ~tolerance with
+    | exception (Failure msg | Sys_error msg) ->
+      Printf.eprintf "--check: %s\n" msg;
+      exit 2
+    | baseline, [] ->
+      Printf.printf
+        "\n--check %s (%s): all deterministic fields within %.0f%%\n" file
+        baseline.S.b_schema (tolerance *. 100.0)
+    | baseline, errors ->
+      Printf.printf "\n--check %s (%s): %d mismatch(es)\n" file
+        baseline.S.b_schema (List.length errors);
+      List.iter (fun e -> Printf.printf "  %s\n" e) errors;
+      exit 1));
   match (metrics_file, !metrics) with
   | Some "-", Some m -> Obs.Metrics.output stdout `Prometheus m
   | Some file, Some m ->

@@ -8,6 +8,7 @@
      render   export an embedded rule set as .prairie source
      optimize run a workload query through a rule set
      trace    optimize with a structured event trace and explain the search
+     profile  optimize under the span profiler: per-rule time attribution
      serve    batch-optimize a query mix on the parallel plan service
      sql      compile a SQL-like query, optimize and optionally execute *)
 
@@ -20,6 +21,9 @@ module W = Prairie_workload
 module Opt = Prairie_optimizers.Optimizers
 module Obs_trace = Prairie_obs.Trace
 module Metrics = Prairie_obs.Metrics
+module Span = Prairie_obs.Span
+module Slow_log = Prairie_obs.Slow_log
+module Telemetry = Prairie_service.Telemetry
 
 let default_catalog () =
   W.Catalogs.make (W.Catalogs.default_spec ~classes:4 ~indexed:true ~seed:1)
@@ -493,9 +497,19 @@ let trace_cmd =
       value
       & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE"
-          ~doc:"Also dump the raw trace as JSON lines to $(docv) (- for stdout).")
+          ~doc:"Also dump the raw trace to $(docv) (- for stdout).")
   in
-  let run qn joins seed ruleset_path capacity group_budget out verbose =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+      & info [ "format"; "f" ] ~docv:"FORMAT"
+          ~doc:
+            "Dump format for --out: $(b,jsonl) (one JSON event per line) or \
+             $(b,chrome) (Chrome trace-event JSON, loadable in \
+             chrome://tracing and Perfetto).")
+  in
+  let run qn joins seed ruleset_path capacity group_budget out format verbose =
     setup_verbose verbose;
     if capacity < 1 then `Error (false, "--capacity must be at least 1")
     else
@@ -534,14 +548,19 @@ let trace_cmd =
           Format.printf "@.%a@." Explain.trace sink;
           (match out with
           | None -> ()
-          | Some "-" -> Obs_trace.output_jsonl stdout sink
-          | Some path ->
-            let oc = open_out path in
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () -> Obs_trace.output_jsonl oc sink);
-            Printf.printf "trace written to %s (%d events, %d dropped)\n" path
-              (Obs_trace.length sink) (Obs_trace.dropped sink));
+          | Some dest ->
+            let dump oc =
+              match format with
+              | `Jsonl -> Obs_trace.output_jsonl oc sink
+              | `Chrome -> output_string oc (Span.chrome_of_trace sink)
+            in
+            (match dest with
+            | "-" -> dump stdout
+            | path ->
+              let oc = open_out path in
+              Fun.protect ~finally:(fun () -> close_out oc) (fun () -> dump oc);
+              Printf.printf "trace written to %s (%d events, %d dropped)\n" path
+                (Obs_trace.length sink) (Obs_trace.dropped sink)));
           `Ok ())
   in
   Cmd.v
@@ -551,6 +570,119 @@ let trace_cmd =
           per-rule account of matches, applications and rejections (with \
           reasons), winner changes and memo behaviour — why the plan was \
           chosen, and why other rules never fired.")
+    Term.(
+      ret
+        (const run $ query_arg $ joins_arg $ seed_arg $ ruleset_arg
+       $ capacity_arg $ budget_arg $ out_arg $ format_arg $ verbose_arg))
+
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let query_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "query"; "q" ] ~docv:"N" ~doc:"Workload query Q$(docv) (1-8).")
+  in
+  let joins_arg =
+    Arg.(value & opt int 2 & info [ "joins"; "n" ] ~docv:"N" ~doc:"Number of joins.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Catalog seed.")
+  in
+  let ruleset_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "ruleset"; "r" ] ~docv:"FILE"
+          ~doc:"Rule file to use instead of the embedded OODB rule set.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "capacity" ] ~docv:"K"
+          ~doc:
+            "Span ring-buffer capacity: older span records beyond K are \
+             dropped (the per-rule aggregates stay exact).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "group-budget" ] ~docv:"B"
+          ~doc:"Memo group budget (profile a degraded search).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Also dump the spans as Chrome trace-event JSON to $(docv) (- for \
+             stdout); load it in chrome://tracing or Perfetto.")
+  in
+  let run qn joins seed ruleset_path capacity group_budget out verbose =
+    setup_verbose verbose;
+    if capacity < 1 then `Error (false, "--capacity must be at least 1")
+    else
+      match W.Queries.of_int qn with
+      | None -> `Error (false, "query number must be 1-8")
+      | Some q -> (
+        let inst = W.Queries.instance q ~joins ~seed in
+        let catalog = inst.W.Queries.catalog in
+        let ruleset_result =
+          match ruleset_path with
+          | None -> Ok (Prairie_algebra.Oodb.ruleset catalog)
+          | Some path -> load_ruleset path catalog
+        in
+        match ruleset_result with
+        | Error msg ->
+          prerr_endline msg;
+          `Error (false, "could not load the rule set")
+        | Ok rs ->
+          let tr = P2v.Translate.translate rs in
+          let opt =
+            {
+              Opt.name = rs.Prairie.Ruleset.name;
+              volcano = tr.P2v.Translate.volcano;
+              prepare = P2v.Translate.prepare_query tr;
+            }
+          in
+          let sink = Span.create ~capacity () in
+          Format.printf "query %s (%d joins, seed %d): %a@." (W.Queries.name q)
+            joins seed Prairie.Expr.pp inst.W.Queries.expr;
+          let t0 = Unix.gettimeofday () in
+          let r = Opt.optimize ?group_budget ~spans:sink opt inst.W.Queries.expr in
+          let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          (match r.Opt.plan with
+          | Some plan ->
+            Format.printf "@.best plan: %s (cost %.3f)@." (Explain.summary plan)
+              r.Opt.cost
+          | None -> print_endline "no plan found");
+          Format.printf "@.%a@." Explain.profile sink;
+          let rooted_ms = Int64.to_float (Span.root_total_ns sink) /. 1e6 in
+          Format.printf
+            "wall %.3f ms, rooted spans account for %.3f ms (%.1f%%)@." wall_ms
+            rooted_ms
+            (if wall_ms > 0.0 then 100.0 *. rooted_ms /. wall_ms else 0.0);
+          (match out with
+          | None -> ()
+          | Some "-" -> print_string (Span.to_chrome sink)
+          | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (Span.to_chrome sink));
+            Printf.printf "chrome trace written to %s (%d spans, %d dropped)\n"
+              path (Span.length sink) (Span.dropped sink));
+          `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Optimize a workload query under the span profiler: hierarchical \
+          timed spans over the search phases (explore, match, apply, cost, \
+          enforcers, memo inserts) with per-rule attribution, reported as a \
+          self/total time table and optionally exported as a Chrome trace.")
     Term.(
       ret
         (const run $ query_arg $ joins_arg $ seed_arg $ ruleset_arg
@@ -606,15 +738,68 @@ let serve_cmd =
              histograms, cache and per-worker gauges) in Prometheus text \
              format to $(docv) after the run (- for stdout).")
   in
+  let telemetry_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "telemetry-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve live telemetry over HTTP on 127.0.0.1:$(docv) while the \
+             batches run: GET /metrics (Prometheus text, including p50/p99 \
+             latency summaries), /healthz and /tracez (recent slow queries). \
+             0 picks an ephemeral port (printed on startup).")
+  in
+  let linger_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "telemetry-linger" ] ~docv:"SECONDS"
+          ~doc:
+            "Keep the telemetry endpoint up for $(docv) seconds after the \
+             batches finish (for scraping the final counters).")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value & opt float 100.0
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-query threshold in milliseconds: searches at or above it \
+             are recorded in the slow-query log served at /tracez.")
+  in
   let run jobs cache_size requests max_joins seed group_budget metrics_file
-      verbose =
+      telemetry_port linger slow_ms verbose =
     setup_verbose verbose;
     if max_joins < 1 then `Error (false, "--joins must be at least 1")
     else if requests < 0 then `Error (false, "--requests must be non-negative")
+    else if slow_ms < 0.0 then `Error (false, "--slow-ms must be non-negative")
+    else if linger < 0.0 then
+      `Error (false, "--telemetry-linger must be non-negative")
     else begin
     let jobs = if jobs <= 0 then Prairie_service.Pool.default_jobs () else jobs in
     let metrics =
-      match metrics_file with None -> None | Some _ -> Some (Metrics.create ())
+      (* the endpoint implies a registry even without a --metrics dump *)
+      match (metrics_file, telemetry_port) with
+      | None, None -> None
+      | _ -> Some (Metrics.create ())
+    in
+    let slow_log =
+      match telemetry_port with
+      | None -> None
+      | Some _ -> Some (Slow_log.create ~threshold:(slow_ms /. 1000.0) ())
+    in
+    let telemetry =
+      match telemetry_port with
+      | None -> None
+      | Some port -> (
+        match Telemetry.start ?metrics ?slow_log ~port () with
+        | server ->
+          Printf.printf
+            "telemetry: http://%s:%d/metrics (also /healthz, /tracez)\n%!"
+            (Telemetry.addr server) (Telemetry.port server);
+          Some server
+        | exception Unix.Unix_error (err, _, _) ->
+          Printf.eprintf "telemetry: cannot bind port %d: %s\n%!" port
+            (Unix.error_message err);
+          exit 1)
     in
     let catalog =
       W.Catalogs.make
@@ -641,10 +826,12 @@ let serve_cmd =
     Printf.printf "plan service: %d requests (%d distinct), %d jobs, cache %d\n"
       (List.length batch) (List.length distinct) jobs cache_size;
     let cold, t_cold =
-      timed (fun () -> Opt.serve ?group_budget ~jobs ~cache ?metrics opt batch)
+      timed (fun () ->
+          Opt.serve ?group_budget ~jobs ~cache ?metrics ?slow_log opt batch)
     in
     let warm, t_warm =
-      timed (fun () -> Opt.serve ?group_budget ~jobs ~cache ?metrics opt batch)
+      timed (fun () ->
+          Opt.serve ?group_budget ~jobs ~cache ?metrics ?slow_log opt batch)
     in
     let summarize label served t =
       let hits = List.length (List.filter (fun s -> s.Opt.cache_hit) served) in
@@ -669,6 +856,19 @@ let serve_cmd =
         (fun () -> Metrics.output oc `Prometheus m);
       Printf.printf "  metrics written to %s\n" path
     | _ -> ());
+    (match slow_log with
+    | Some log when Slow_log.length log > 0 ->
+      Printf.printf "  slow-query log: %d search(es) at or above %.1f ms\n"
+        (Slow_log.length log) slow_ms
+    | _ -> ());
+    (match telemetry with
+    | None -> ()
+    | Some server ->
+      if linger > 0.0 then begin
+        Printf.printf "telemetry: lingering %.1f s before shutdown\n%!" linger;
+        Unix.sleepf linger
+      end;
+      Telemetry.stop server);
     `Ok ()
     end
   in
@@ -681,7 +881,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ jobs_arg $ cache_size_arg $ requests_arg $ joins_arg
-       $ seed_arg $ budget_arg $ metrics_arg $ verbose_arg))
+       $ seed_arg $ budget_arg $ metrics_arg $ telemetry_port_arg $ linger_arg
+       $ slow_ms_arg $ verbose_arg))
 
 (* ---------------- sql ---------------- *)
 
@@ -770,6 +971,7 @@ let () =
             render_cmd;
             optimize_cmd;
             trace_cmd;
+            profile_cmd;
             serve_cmd;
             sql_cmd;
           ]))

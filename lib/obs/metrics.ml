@@ -157,6 +157,38 @@ let histogram_sum h =
   | Histogram s -> locked h.lock (fun () -> s.sum)
   | _ -> assert false
 
+(* Estimate the q-quantile by linear interpolation inside the first
+   cumulative bucket reaching q*count. Observations are assumed
+   non-negative (latencies/sizes), so the first bucket's lower edge is
+   0; the overflow bucket has no upper edge and degrades to the
+   largest finite bound. nan when empty. *)
+let quantile h q =
+  if not (Float.is_finite q) || q < 0.0 || q > 1.0 then
+    invalid_arg "Metrics.quantile";
+  match h.kind with
+  | Histogram s ->
+    locked h.lock (fun () ->
+        if s.count = 0 then nan
+        else begin
+          let target = q *. float_of_int s.count in
+          let n = Array.length s.bounds in
+          let rec go i cum lower =
+            if i >= n then s.bounds.(n - 1)
+            else
+              let cum' = cum + s.counts.(i) in
+              if float_of_int cum' >= target && s.counts.(i) > 0 then
+                let frac =
+                  (target -. float_of_int cum) /. float_of_int s.counts.(i)
+                in
+                lower +. ((s.bounds.(i) -. lower) *. Float.max 0.0 (Float.min 1.0 frac))
+              else go (i + 1) cum' s.bounds.(i)
+          in
+          go 0 0 0.0
+        end)
+  | _ -> assert false
+
+let summary_quantiles = [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
+
 let buckets h =
   match h.kind with
   | Histogram s ->
@@ -259,6 +291,32 @@ let to_prometheus t =
           (Printf.sprintf "%s_count%s %d\n" i.name (label_block i.labels)
              count))
     (ordered t);
+  (* quantile summaries as derived gauges, emitted after the primary
+     series so each derived family stays grouped (suffix-major order) *)
+  let hists =
+    List.filter
+      (fun i -> match i.kind with Histogram _ -> true | _ -> false)
+      (ordered t)
+  in
+  List.iter
+    (fun (suffix, q) ->
+      List.iter
+        (fun i ->
+          if histogram_count i > 0 then begin
+            let name = i.name ^ "_" ^ suffix in
+            if not (Hashtbl.mem seen_header name) then begin
+              Hashtbl.replace seen_header name ();
+              Buffer.add_string buf
+                (Printf.sprintf "# HELP %s %s quantile of %s\n" name suffix
+                   i.name);
+              Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name)
+            end;
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %s\n" name (label_block i.labels)
+                 (fmt_float (quantile i q)))
+          end)
+        hists)
+    summary_quantiles;
   Buffer.contents buf
 
 let json_string = Trace.json_string
@@ -287,10 +345,20 @@ let to_jsonl t =
             (Trace.json_float (locked i.lock (fun () -> !r)))
         | Histogram _ ->
           let bs = buckets i in
+          let qfields =
+            String.concat ""
+              (List.map
+                 (fun (suffix, q) ->
+                   let v = quantile i q in
+                   Printf.sprintf ",\"%s\":%s" suffix
+                     (if Float.is_nan v then "null" else Trace.json_float v))
+                 summary_quantiles)
+          in
           Printf.sprintf
-            "{\"name\":%s,\"type\":\"histogram\",\"labels\":%s,\"count\":%d,\"sum\":%s,\"buckets\":[%s]}"
+            "{\"name\":%s,\"type\":\"histogram\",\"labels\":%s,\"count\":%d,\"sum\":%s%s,\"buckets\":[%s]}"
             (json_string i.name) (json_labels i.labels) (histogram_count i)
             (Trace.json_float (histogram_sum i))
+            qfields
             (String.concat ","
                (List.map
                   (fun (ub, c) ->

@@ -63,15 +63,29 @@ val buckets : histogram -> (float * int) list
 (** (upper bound, cumulative count) pairs, including the final
     [(infinity, count)]. *)
 
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0. <= q <= 1.]) by
+    linear interpolation inside the first cumulative bucket reaching
+    [q * count], assuming non-negative observations (the first
+    bucket's lower edge is 0).  Values past the largest finite bound
+    degrade to that bound; [nan] when the histogram is empty.
+    @raise Invalid_argument if [q] is outside [0., 1.]. *)
+
+val summary_quantiles : (string * float) list
+(** The quantile summaries both exporters emit:
+    [("p50", 0.5); ("p90", 0.9); ("p99", 0.99)]. *)
+
 val to_prometheus : t -> string
 (** Prometheus text exposition format: [# HELP] / [# TYPE] per metric
     name, label values escaped (backslash, double quote, newline),
     histograms expanded into [_bucket{le=...}] / [_sum] / [_count]
-    series. *)
+    series.  Non-empty histograms additionally export
+    {!summary_quantiles} as derived gauges ([<name>_p50], [<name>_p90],
+    [<name>_p99]) after the primary series. *)
 
 val to_jsonl : t -> string
 (** One JSON object per instrument per line, carrying its name, type,
-    labels and current value (histograms: count, sum and cumulative
-    buckets). *)
+    labels and current value (histograms: count, sum, [p50]/[p90]/[p99]
+    estimates — [null] when empty — and cumulative buckets). *)
 
 val output : out_channel -> [ `Prometheus | `Jsonl ] -> t -> unit

@@ -3,6 +3,8 @@ module Search = Prairie_volcano.Search
 module Plan = Prairie_volcano.Plan
 module Metrics = Prairie_obs.Metrics
 module Trace = Prairie_obs.Trace
+module Span = Prairie_obs.Span
+module Slow_log = Prairie_obs.Slow_log
 
 type t = {
   name : string;
@@ -148,10 +150,10 @@ let timed f =
   (v, Unix.gettimeofday () -. t0)
 
 let optimize ?pruning ?group_budget ?(required = Descriptor.empty) ?trace
-    ?metrics t expr =
+    ?spans ?metrics ?slow_log t expr =
   let expr, req0 = t.prepare expr in
   let required = Descriptor.merge ~base:req0 ~overrides:required in
-  let search = Search.create ?pruning ?group_budget ?trace t.volcano in
+  let search = Search.create ?pruning ?group_budget ?trace ?spans t.volcano in
   let plan, elapsed = timed (fun () -> Search.optimize ~required search expr) in
   (match metrics with
   | None -> ()
@@ -161,6 +163,16 @@ let optimize ?pruning ?group_budget ?(required = Descriptor.empty) ?trace
     winner_metrics m ~ruleset:t.name (Search.stats search);
     pool_metrics m);
   let cost = match plan with Some p -> Plan.cost p | None -> infinity in
+  (match slow_log with
+  | Some log when elapsed >= Slow_log.threshold log ->
+    (* the fingerprint is only computed on the slow path *)
+    Slow_log.observe log ~ruleset:t.name
+      ~fingerprint:(Prairie.Expr.fingerprint ~required expr)
+      ~seconds:elapsed ~cost
+      ~groups:(Search.group_count search)
+      ~budget_hit:(Search.budget_was_hit search)
+      ~cache_hit:false
+  | Some _ | None -> ());
   { plan; cost; search }
 
 (* ---------------- the plan service ---------------- *)
@@ -182,7 +194,8 @@ type served = {
   budget_hit : bool;
 }
 
-let serve_metered ?pruning ?group_budget ?jobs ?cache ?metrics t batch =
+let serve_metered ?pruning ?group_budget ?jobs ?cache ?metrics ?slow_log t
+    batch =
   (* Preparation and fingerprinting are cheap; do them sequentially so the
      batch can be deduplicated before any search is dispatched. *)
   let prepared =
@@ -226,6 +239,16 @@ let serve_metered ?pruning ?group_budget ?jobs ?cache ?metrics t batch =
       Metrics.observe (m_search_seconds m ~ruleset:t.name) elapsed;
       winner_metrics m ~ruleset:t.name (Search.stats search));
     let cost = match plan with Some p -> Plan.cost p | None -> infinity in
+    (match slow_log with
+    | Some log ->
+      (* Slow_log.observe applies the threshold itself; it is mutex-
+         protected, so recording from pool workers is safe. *)
+      Slow_log.observe log ~ruleset:t.name ~fingerprint:fp ~seconds:elapsed
+        ~cost
+        ~groups:(Search.group_count search)
+        ~budget_hit:(Search.budget_was_hit search)
+        ~cache_hit:false
+    | None -> ());
     let entry =
       {
         Plan_cache.plan;
@@ -268,10 +291,11 @@ let serve_metered ?pruning ?group_budget ?jobs ?cache ?metrics t batch =
       })
     prepared
 
-let serve ?pruning ?group_budget ?jobs ?cache ?metrics t batch =
+let serve ?pruning ?group_budget ?jobs ?cache ?metrics ?slow_log t batch =
   let served, elapsed =
     timed (fun () ->
-        serve_metered ?pruning ?group_budget ?jobs ?cache ?metrics t batch)
+        serve_metered ?pruning ?group_budget ?jobs ?cache ?metrics ?slow_log t
+          batch)
   in
   (match metrics with
   | None -> ()

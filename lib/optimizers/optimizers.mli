@@ -44,7 +44,9 @@ val optimize :
   ?group_budget:int ->
   ?required:Prairie.Descriptor.t ->
   ?trace:Prairie_obs.Trace.t ->
+  ?spans:Prairie_obs.Span.t ->
   ?metrics:Prairie_obs.Metrics.t ->
+  ?slow_log:Prairie_obs.Slow_log.t ->
   t ->
   Prairie.Expr.t ->
   outcome
@@ -54,8 +56,12 @@ val optimize :
 
     [trace] attaches a structured event sink to the search (see
     {!Prairie_volcano.Search.create} and {!Prairie_volcano.Explain.trace});
+    [spans] attaches a timed-span sink with per-rule attribution (see
+    {!Prairie_volcano.Explain.profile} and `prairiec profile`);
     [metrics] records the optimization into [prairie_optimize_seconds] /
-    [prairie_optimize_total] (labelled by rule-set name).  Both default to
+    [prairie_optimize_total] (labelled by rule-set name); [slow_log]
+    records the search when it meets the log's threshold (the query
+    fingerprint is only computed on that slow path).  All default to
     off, with one [Option] check of overhead. *)
 
 (** {1 The parallel plan service}
@@ -95,6 +101,7 @@ val serve :
   ?jobs:int ->
   ?cache:Plan_cache.t ->
   ?metrics:Prairie_obs.Metrics.t ->
+  ?slow_log:Prairie_obs.Slow_log.t ->
   t ->
   request list ->
   served list
@@ -111,4 +118,8 @@ val serve :
     per-search and per-batch latency histograms
     ([prairie_serve_search_seconds], [prairie_serve_batch_seconds]),
     per-worker job counts ([prairie_pool_worker_jobs_total]) and — when
-    [cache] is supplied — plan-cache size/hit-rate gauges. *)
+    [cache] is supplied — plan-cache size/hit-rate gauges.
+
+    [slow_log] records every fresh search whose latency meets the log's
+    threshold (the log locks internally, so pool workers record safely);
+    the telemetry endpoint's [/tracez] serves its recent entries. *)

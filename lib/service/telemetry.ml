@@ -1,0 +1,169 @@
+(* A minimal HTTP/1.0 telemetry endpoint over stdlib Unix sockets.
+
+   One domain runs a sequential accept loop; every connection gets one
+   request parsed and one response written, then the socket is closed
+   (Connection: close).  That is plenty for scrape-style traffic
+   (Prometheus, curl, health checks) and keeps the server at zero
+   dependencies.  The registry and slow log lock internally, so reading
+   them from the server domain is safe while the optimizer writes. *)
+
+module Metrics = Prairie_obs.Metrics
+module Slow_log = Prairie_obs.Slow_log
+
+type t = {
+  sock : Unix.file_descr;
+  addr : string;
+  port : int;  (* actual port: resolved after bind when asked for 0 *)
+  stopping : bool Atomic.t;
+  server : unit Domain.t;
+}
+
+let port t = t.port
+let addr t = t.addr
+
+let http_status = function
+  | 200 -> "200 OK"
+  | 404 -> "404 Not Found"
+  | 405 -> "405 Method Not Allowed"
+  | _ -> "400 Bad Request"
+
+let write_all fd s =
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    pos := !pos + Unix.write_substring fd s !pos (n - !pos)
+  done
+
+let respond fd ~status ~content_type body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      (http_status status) content_type (String.length body)
+  in
+  write_all fd (head ^ body)
+
+(* Read until the blank line ending the request head (we ignore bodies:
+   every route is a GET) or until a small cap, whichever comes first. *)
+let contains_terminator s =
+  let n = String.length s in
+  let rec go i =
+    i + 4 <= n && (String.equal (String.sub s i 4) "\r\n\r\n" || go (i + 1))
+  in
+  go 0
+
+let read_request fd =
+  let cap = 8192 in
+  let buf = Bytes.create 1024 in
+  let acc = Buffer.create 256 in
+  let rec loop () =
+    if Buffer.length acc >= cap || contains_terminator (Buffer.contents acc)
+    then Buffer.contents acc
+    else
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> Buffer.contents acc
+      | n ->
+        Buffer.add_subbytes acc buf 0 n;
+        loop ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        Buffer.contents acc
+  in
+  loop ()
+
+let parse_request_line req =
+  match String.index_opt req '\r' with
+  | None -> None
+  | Some eol -> (
+    match String.split_on_char ' ' (String.sub req 0 eol) with
+    | [ meth; target; _version ] ->
+      (* strip any query string; routes carry none *)
+      let path =
+        match String.index_opt target '?' with
+        | Some q -> String.sub target 0 q
+        | None -> target
+      in
+      Some (meth, path)
+    | _ -> None)
+
+let handle ~metrics ~slow_log fd =
+  let req = read_request fd in
+  match parse_request_line req with
+  | None -> respond fd ~status:400 ~content_type:"text/plain" "bad request\n"
+  | Some (meth, _) when meth <> "GET" ->
+    respond fd ~status:405 ~content_type:"text/plain" "method not allowed\n"
+  | Some (_, "/healthz") ->
+    respond fd ~status:200 ~content_type:"text/plain" "ok\n"
+  | Some (_, "/metrics") ->
+    let body =
+      match metrics with None -> "" | Some m -> Metrics.to_prometheus m
+    in
+    respond fd ~status:200
+      ~content_type:"text/plain; version=0.0.4; charset=utf-8" body
+  | Some (_, "/tracez") ->
+    let body =
+      match slow_log with
+      | None -> "{\"threshold_s\":null,\"recorded\":0,\"entries\":[]}"
+      | Some log -> Slow_log.to_json log
+    in
+    respond fd ~status:200 ~content_type:"application/json" body
+  | Some (_, _) ->
+    respond fd ~status:404 ~content_type:"text/plain" "not found\n"
+
+let serve_loop sock stopping metrics slow_log =
+  let continue = ref true in
+  while !continue && not (Atomic.get stopping) do
+    match Unix.accept sock with
+    | client, _ ->
+      if Atomic.get stopping then Unix.close client
+      else begin
+        (try Unix.setsockopt_float client Unix.SO_RCVTIMEO 5.0
+         with Unix.Unix_error _ -> ());
+        Fun.protect
+          ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+          (fun () ->
+            try handle ~metrics ~slow_log client with
+            | Unix.Unix_error _ -> ())
+      end
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED), _, _) ->
+      (* the listening socket was shut down under us: exit cleanly *)
+      continue := false
+  done
+
+let start ?(addr = "127.0.0.1") ?metrics ?slow_log ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stopping = Atomic.make false in
+  let server =
+    Domain.spawn (fun () -> serve_loop sock stopping metrics slow_log)
+  in
+  { sock; addr; port; stopping; server }
+
+let stop t =
+  if not (Atomic.get t.stopping) then begin
+    Atomic.set t.stopping true;
+    (* the accept loop may be blocked; shutting the listener down makes
+       accept fail immediately, and a wake-up connection covers platforms
+       where shutdown on a listening socket is not supported *)
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try
+       let c = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       Fun.protect
+         ~finally:(fun () -> try Unix.close c with Unix.Unix_error _ -> ())
+         (fun () ->
+           Unix.connect c
+             (Unix.ADDR_INET (Unix.inet_addr_of_string t.addr, t.port)))
+     with Unix.Unix_error _ -> ());
+    Domain.join t.server;
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,38 @@
+(** A minimal HTTP/1.0 telemetry endpoint (stdlib [Unix] only).
+
+    One background domain accepts connections sequentially and serves:
+
+    - [GET /metrics] — Prometheus text exposition of the registry
+      (including the p50/p90/p99 latency summaries), empty when no
+      registry was attached;
+    - [GET /healthz] — ["ok\n"], liveness;
+    - [GET /tracez] — recent slow queries from the attached
+      {!Prairie_obs.Slow_log.t} as one JSON document.
+
+    Anything else is 404; non-GET methods are 405.  Responses always
+    close the connection.  Sequential accept is deliberate: this serves
+    scrape-style traffic (Prometheus, curl, health checks), not users. *)
+
+type t
+
+val start :
+  ?addr:string ->
+  ?metrics:Prairie_obs.Metrics.t ->
+  ?slow_log:Prairie_obs.Slow_log.t ->
+  port:int ->
+  unit ->
+  t
+(** Bind [addr] (default ["127.0.0.1"]) on [port] ([0] picks an
+    ephemeral port — read it back with {!port}) and serve from a fresh
+    domain.  The registry and slow log lock internally, so the optimizer
+    keeps writing them while the server reads.
+    @raise Unix.Unix_error when the bind fails (e.g. port in use). *)
+
+val port : t -> int
+(** The bound port (resolved when [start] was given port [0]). *)
+
+val addr : t -> string
+
+val stop : t -> unit
+(** Stop accepting, join the server domain and close the socket.
+    Idempotent. *)

@@ -1,4 +1,5 @@
 module Descriptor = Prairie.Descriptor
+module Span = Prairie_obs.Span
 
 type result = {
   plan : Plan.t option;
@@ -38,10 +39,16 @@ let optimize_in ctx g0 ~required =
   let memo = Search.memo ctx in
   let rules = Search.ruleset ctx in
   let required = Search.restrict_req ctx required in
+  let sink = Search.spans ctx in
+  (* the whole bottom-up run is one root span; saturation produces
+     [Explore] children, the DP phase a single [Cost] child *)
+  let root = Span.enter_opt sink ~parent:None Span.Optimize in
   (* 1. saturate: explore until no group or expression appears *)
   let rec saturate () =
     let before = (Memo.group_count memo, Memo.lexpr_count memo) in
-    List.iter (Search.explore_group ctx) (Memo.groups memo);
+    List.iter
+      (fun g -> Search.explore_group ctx ?span:root g)
+      (Memo.groups memo);
     if (Memo.group_count memo, Memo.lexpr_count memo) <> before then saturate ()
   in
   saturate ();
@@ -88,6 +95,7 @@ let optimize_in ctx g0 ~required =
   done;
   (* 3. dynamic programming in dependency order; within a group, smaller
      requirement vectors first so enforcers find their relaxed plans *)
+  let dp_span = Span.enter_opt sink ~parent:root Span.Cost in
   let table : Plan.t option Tbl.t = Tbl.create 64 in
   let plans_costed = ref 0 in
   let reqs_of g =
@@ -198,6 +206,8 @@ let optimize_in ctx g0 ~required =
           Tbl.replace table (g, req) (Option.map fst !best))
         (reqs_of g))
     groups;
+  Span.exit_opt sink dp_span;
+  Span.exit_opt sink root;
   {
     plan =
       (match Tbl.find_opt table (g0, required) with
@@ -208,7 +218,7 @@ let optimize_in ctx g0 ~required =
     plans_costed = !plans_costed;
   }
 
-let optimize ?(required = Descriptor.empty) ?trace rules expr =
-  let ctx = Search.create ?trace rules in
+let optimize ?(required = Descriptor.empty) ?trace ?spans rules expr =
+  let ctx = Search.create ?trace ?spans rules in
   let g0 = Memo.insert_expr (Search.memo ctx) expr in
   optimize_in ctx g0 ~required

@@ -30,13 +30,16 @@ type result = {
 val optimize :
   ?required:Prairie.Descriptor.t ->
   ?trace:Prairie_obs.Trace.t ->
+  ?spans:Prairie_obs.Span.t ->
   Rule.ruleset ->
   Prairie.Expr.t ->
   result
 (** Run the full bottom-up optimization from a fresh memo.  [trace]
     receives the exploration-phase events (group creation/merges, trans
     rule matches/applications/rejections); the DP phase keeps its own
-    bookkeeping and does not emit per-plan events. *)
+    bookkeeping and does not emit per-plan events.  [spans] wraps the
+    run in an [Optimize] root span with [Explore] children from the
+    saturation phase and one [Cost] child covering the DP phase. *)
 
 val optimize_in :
   Search.t -> Memo.gid -> required:Prairie.Descriptor.t -> result

@@ -219,3 +219,41 @@ let trace ppf (tr : Trace.t) =
   Format.fprintf ppf "@]"
 
 let trace_to_string tr = Format.asprintf "%a" trace tr
+
+(* ------------------------------------------------------------------ *)
+(* Span profile rendering: where did the time go, per phase and rule   *)
+(* ------------------------------------------------------------------ *)
+
+module Span = Prairie_obs.Span
+
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+let profile ppf (sink : Span.t) =
+  let rows = Span.profile sink in
+  let total = Span.root_total_ns sink in
+  Format.fprintf ppf
+    "@[<v>span profile: %d spans (%d dropped from the ring; aggregates are \
+     exact), %d root span%s, rooted total %.3f ms"
+    (Span.seq sink) (Span.dropped sink) (Span.root_count sink)
+    (if Span.root_count sink = 1 then "" else "s")
+    (ms_of_ns total);
+  if rows <> [] then begin
+    Format.fprintf ppf "@,%-12s %-28s %9s %12s %12s %6s %10s" "phase" "rule"
+      "count" "total(ms)" "self(ms)" "self%" "minor(kw)";
+    let tf = Int64.to_float total in
+    List.iter
+      (fun (a : Span.agg) ->
+        Format.fprintf ppf "@,%-12s %-28s %9d %12.3f %12.3f %5.1f%% %10.1f"
+          (Span.phase_label a.Span.a_phase)
+          (match a.Span.a_rule with Some r -> r | None -> "-")
+          a.Span.a_count
+          (ms_of_ns a.Span.a_total_ns)
+          (ms_of_ns a.Span.a_self_ns)
+          (if tf > 0.0 then 100.0 *. Int64.to_float a.Span.a_self_ns /. tf
+           else 0.0)
+          (a.Span.a_minor_words /. 1e3))
+      rows
+  end;
+  Format.fprintf ppf "@]"
+
+let profile_to_string sink = Format.asprintf "%a" profile sink

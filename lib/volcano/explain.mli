@@ -33,3 +33,14 @@ val trace : Format.formatter -> Prairie_obs.Trace.t -> unit
     be accounted. *)
 
 val trace_to_string : Prairie_obs.Trace.t -> string
+
+val profile : Format.formatter -> Prairie_obs.Span.t -> unit
+(** The per-(phase, rule) time-attribution table of a span sink (see
+    {!Search.create}[ ~spans]): count, total and self milliseconds
+    (self excludes nested spans), share of the rooted total, and minor
+    allocation kilowords, sorted by self time.  Aggregates are exact
+    even when the record ring dropped spans; the rooted total is the
+    summed duration of parentless spans — within clock resolution of
+    the wall time the caller measured around the search. *)
+
+val profile_to_string : Prairie_obs.Span.t -> string

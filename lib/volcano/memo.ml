@@ -1,6 +1,7 @@
 module Descriptor = Prairie.Descriptor
 module Expr = Prairie.Expr
 module Trace = Prairie_obs.Trace
+module Span = Prairie_obs.Span
 
 type gid = int
 
@@ -76,9 +77,10 @@ type t = {
       (** (lexpr id, trans-rule id) packed into one int — see [tried_key] *)
   stats : Stats.t;
   trace : Trace.t option;
+  spans : Span.t option;
 }
 
-let create ?(stats = Stats.create ()) ?trace () =
+let create ?(stats = Stats.create ()) ?trace ?spans () =
   {
     parents = Hashtbl.create 64;
     groups = Hashtbl.create 64;
@@ -88,6 +90,7 @@ let create ?(stats = Stats.create ()) ?trace () =
     tried = Hashtbl.create 256;
     stats;
     trace;
+    spans;
   }
 
 (* Single Option check on the disabled path; the event is only allocated
@@ -269,16 +272,25 @@ let insert_lexpr t ?into node arg inputs =
 let insert_file t name desc =
   fst (insert_lexpr t (L_file name) desc [||])
 
-let rec insert_expr t (e : Expr.t) =
+let rec insert_expr_rec t (e : Expr.t) =
   match e with
   | Expr.Stored (name, d) -> insert_file t name d
   | Expr.Node (Expr.Operator, name, d, inputs) ->
-    let gids = Array.of_list (List.map (insert_expr t) inputs) in
+    let gids = Array.of_list (List.map (insert_expr_rec t) inputs) in
     fst (insert_lexpr t (L_op name) d gids)
   | Expr.Node (Expr.Algorithm, name, _, _) ->
     invalid_arg ("Memo.insert_expr: algorithm node " ^ name)
 
-let rec insert_gtree t ?into tree =
+let insert_expr t ?span_parent e =
+  match t.spans with
+  | None -> insert_expr_rec t e
+  | Some sink ->
+    let h = Span.enter sink ?parent:span_parent Span.Memo_insert in
+    Fun.protect
+      ~finally:(fun () -> Span.exit sink h)
+      (fun () -> insert_expr_rec t e)
+
+let rec insert_gtree_rec t ?into tree =
   match tree with
   | Gleaf g -> (canonical t g, false)
   | Gnode (name, desc, subs) ->
@@ -287,13 +299,24 @@ let rec insert_gtree t ?into tree =
       Array.of_list
         (List.map
            (fun sub ->
-             let g, f = insert_gtree t sub in
+             let g, f = insert_gtree_rec t sub in
              if f then fresh := true;
              g)
            subs)
     in
     let g, f = insert_lexpr t ?into (L_op name) desc gids in
     (g, f || !fresh)
+
+let insert_gtree t ?into ?span_parent tree =
+  match t.spans with
+  | None -> insert_gtree_rec t ?into tree
+  | Some sink ->
+    let h = Span.enter sink ?parent:span_parent Span.Memo_insert in
+    Fun.protect
+      ~finally:(fun () -> Span.exit sink h)
+      (fun () -> insert_gtree_rec t ?into tree)
+
+let spans t = t.spans
 
 let pp_lnode ppf = function
   | L_op name -> Format.pp_print_string ppf name

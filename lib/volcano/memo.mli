@@ -32,11 +32,20 @@ type gtree =
 
 type t
 
-val create : ?stats:Stats.t -> ?trace:Prairie_obs.Trace.t -> unit -> t
-(** [trace] receives [Group_created] / [Groups_merged] events; when absent
-    (the default) the only per-event cost is one [Option] check. *)
+val create :
+  ?stats:Stats.t ->
+  ?trace:Prairie_obs.Trace.t ->
+  ?spans:Prairie_obs.Span.t ->
+  unit ->
+  t
+(** [trace] receives [Group_created] / [Groups_merged] events; [spans]
+    receives [Memo_insert] timing spans around tree insertions.  When
+    absent (the default) the only per-event cost is one [Option]
+    check. *)
 
 val stats : t -> Stats.t
+
+val spans : t -> Prairie_obs.Span.t option
 
 val canonical : t -> gid -> gid
 
@@ -51,12 +60,14 @@ val lexprs : t -> gid -> lexpr list
 val insert_file : t -> string -> Prairie.Descriptor.t -> gid
 (** Group holding a stored-file leaf (idempotent per file name+descriptor). *)
 
-val insert_expr : t -> Prairie.Expr.t -> gid
+val insert_expr : t -> ?span_parent:Prairie_obs.Span.handle -> Prairie.Expr.t -> gid
 (** Insert an initial operator tree bottom-up; group descriptors are taken
-    from node descriptors.
+    from node descriptors.  [span_parent] nests the [Memo_insert] span
+    (when a sink is attached) under the caller's span.
     @raise Invalid_argument on algorithm nodes. *)
 
-val insert_gtree : t -> ?into:gid -> gtree -> gid * bool
+val insert_gtree :
+  t -> ?into:gid -> ?span_parent:Prairie_obs.Span.handle -> gtree -> gid * bool
 (** Insert a rule-output tree.  [into] forces the root into an existing
     group (merging groups if the root lexpr already lives elsewhere).
     Returns the root's group and whether any {e new} lexpr was created. *)

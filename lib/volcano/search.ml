@@ -1,6 +1,7 @@
 module Descriptor = Prairie.Descriptor
 module Pattern = Prairie.Pattern
 module Trace = Prairie_obs.Trace
+module Span = Prairie_obs.Span
 
 (* tracing: enable with Logs.Src.set_level Search.log_src (Some Debug) *)
 let log_src = Logs.Src.create "prairie.search" ~doc:"Volcano search tracing"
@@ -24,13 +25,14 @@ type t = {
   exploration : exploration;
   mutable budget_hit : bool;
   trace : Trace.t option;
+  spans : Span.t option;
 }
 
 let create ?(pruning = true) ?group_budget ?(exploration = `Worklist) ?trace
-    rules =
+    ?spans rules =
   let st = Stats.create () in
   {
-    memo = Memo.create ~stats:st ?trace ();
+    memo = Memo.create ~stats:st ?trace ?spans ();
     rules;
     trans_rules = List.mapi (fun i tr -> (i, tr)) rules.Rule.rs_trans;
     restrict_cache = Descriptor.Tbl.create 64;
@@ -40,12 +42,19 @@ let create ?(pruning = true) ?group_budget ?(exploration = `Worklist) ?trace
     exploration;
     budget_hit = false;
     trace;
+    spans;
   }
 
 (* Single Option check when no sink is attached; events are allocated only
    inside the [Some] branch. *)
 let emit ctx ev =
   match ctx.trace with None -> () | Some tr -> Trace.emit tr (ev ())
+
+(* Same discipline for spans: [Span.enter_opt]/[Span.exit_opt] are one
+   Option check each on the disabled path.  Parent handles are threaded
+   explicitly through the mutual recursion below — never stored in the
+   context — so attribution stays correct if exploration ever runs on
+   several domains at once (each with its own sink). *)
 
 let budget_exhausted t =
   match t.group_budget with
@@ -64,6 +73,7 @@ let budget_was_hit t = t.budget_hit
 let ruleset t = t.rules
 let memo t = t.memo
 let stats t = t.st
+let spans t = t.spans
 let group_count t = Memo.group_count t.memo
 
 let restrict_req ctx d =
@@ -108,10 +118,11 @@ let gtree_of_tmpl (tmpl : Pattern.tmpl) streams descs =
    actually gates rule application — and it is maintained identically — the
    worklist applies exactly the same rules in exactly the same order as the
    legacy whole-group rescan ([`Rescan], kept for differential testing). *)
-let rec explore ctx gid =
+let rec explore ctx parent gid =
   let g = Memo.canonical ctx.memo gid in
   if Memo.is_explored ctx.memo g || Memo.is_exploring ctx.memo g then ()
   else begin
+    let sp = Span.enter_opt ctx.spans ~parent Span.Explore in
     Memo.set_exploring ctx.memo g true;
     let processed =
       match ctx.exploration with
@@ -135,21 +146,26 @@ let rec explore ctx gid =
           (match processed with
           | Some seen -> Hashtbl.replace seen le.Memo.id ()
           | None -> ());
-          apply_trans_rules ctx g le ~changed)
+          apply_trans_rules ctx sp g le ~changed)
         members;
       if ctx.st.Stats.groups_merged > merges_before then changed := true
     done;
     let g = Memo.canonical ctx.memo g in
     Memo.set_exploring ctx.memo g false;
-    Memo.set_explored ctx.memo g true
+    Memo.set_explored ctx.memo g true;
+    Span.exit_opt ctx.spans sp
   end
 
-and apply_trans_rules ctx g le ~changed =
+and apply_trans_rules ctx parent g le ~changed =
   List.iter
     (fun (tr_id, (tr : Rule.trans_rule)) ->
       if not (Memo.rule_tried ctx.memo le tr_id) then begin
         Memo.mark_rule_tried ctx.memo le tr_id;
-        let envs = match_lexpr ctx tr.tr_lhs le empty_menv in
+        let msp =
+          Span.enter_opt ctx.spans ~rule:tr.tr_name ~parent Span.Match
+        in
+        let envs = match_lexpr ctx msp tr.tr_lhs le empty_menv in
+        Span.exit_opt ctx.spans msp;
         if envs <> [] then begin
           Stats.record_trans_match ctx.st tr.tr_name;
           emit ctx (fun () ->
@@ -172,6 +188,9 @@ and apply_trans_rules ctx g le ~changed =
                       reason = Trace.Test_failed;
                     })
             | Some descs ->
+              let asp =
+                Span.enter_opt ctx.spans ~rule:tr.tr_name ~parent Span.Apply
+              in
               let descs = tr.tr_appl descs in
               Stats.record_trans_applied ctx.st tr.tr_name;
               emit ctx (fun () ->
@@ -182,14 +201,17 @@ and apply_trans_rules ctx g le ~changed =
                 ctx.st.Stats.trans_applications + 1;
               let gtree = gtree_of_tmpl tr.tr_rhs env.streams descs in
               let target = Memo.canonical ctx.memo g in
-              let _, fresh = Memo.insert_gtree ctx.memo ~into:target gtree in
-              if fresh then changed := true)
+              let _, fresh =
+                Memo.insert_gtree ctx.memo ~into:target ?span_parent:asp gtree
+              in
+              if fresh then changed := true;
+              Span.exit_opt ctx.spans asp)
           envs
       end)
     ctx.trans_rules
 
 (* All bindings of [pat] against a specific lexpr. *)
-and match_lexpr ctx (pat : Pattern.t) (le : Memo.lexpr) env : menv list =
+and match_lexpr ctx parent (pat : Pattern.t) (le : Memo.lexpr) env : menv list =
   match (pat, le.Memo.node) with
   | Pattern.Pop (name, dvar, subs), Memo.L_op n
     when String.equal n name && Array.length le.Memo.inputs = List.length subs
@@ -200,7 +222,9 @@ and match_lexpr ctx (pat : Pattern.t) (le : Memo.lexpr) env : menv list =
       | [] -> envs
       | p :: rest ->
         let g = le.Memo.inputs.(i) in
-        let envs' = List.concat_map (fun e -> match_sub ctx p g e) envs in
+        let envs' =
+          List.concat_map (fun e -> match_sub ctx parent p g e) envs
+        in
         fold_inputs (i + 1) rest envs'
     in
     fold_inputs 0 subs [ env ]
@@ -209,7 +233,7 @@ and match_lexpr ctx (pat : Pattern.t) (le : Memo.lexpr) env : menv list =
     invalid_arg "trans rule LHS must be rooted at an operator"
 
 (* All bindings of [pat] against any member of group [g]. *)
-and match_sub ctx (pat : Pattern.t) g env : menv list =
+and match_sub ctx parent (pat : Pattern.t) g env : menv list =
   let g = Memo.canonical ctx.memo g in
   match pat with
   | Pattern.Pvar i ->
@@ -221,17 +245,17 @@ and match_sub ctx (pat : Pattern.t) g env : menv list =
       };
     ]
   | Pattern.Pop _ ->
-    explore ctx g;
+    explore ctx parent g;
     let g = Memo.canonical ctx.memo g in
     List.concat_map
-      (fun le -> match_lexpr ctx pat le env)
+      (fun le -> match_lexpr ctx parent pat le env)
       (Memo.lexprs ctx.memo g)
 
-let explore_group = explore
+let explore_group ctx ?span gid = explore ctx span gid
 let infinity_limit = infinity
 
 (* FindBestPlan *)
-let rec optimize_group ctx gid ~req ~limit : Plan.t option =
+let rec optimize_group_at ctx gid ~req ~limit ~parent : Plan.t option =
   let req = restrict_req ctx req in
   let g = Memo.canonical ctx.memo gid in
   ctx.st.Stats.optimize_calls <- ctx.st.Stats.optimize_calls + 1;
@@ -245,12 +269,12 @@ let rec optimize_group ctx gid ~req ~limit : Plan.t option =
     ctx.st.Stats.memo_hits <- ctx.st.Stats.memo_hits + 1;
     emit ctx (fun () -> Trace.Memo_hit { gid = g });
     None
-  | Some _ | None -> search_group ctx g ~req ~limit
+  | Some _ | None -> search_group ctx g ~req ~limit ~parent
 
-and search_group ctx g ~req ~limit =
+and search_group ctx g ~req ~limit ~parent =
   Log.debug (fun m ->
       m "optimize group %d req=%a limit=%.2f" g Descriptor.pp req limit);
-  explore ctx g;
+  explore ctx parent g;
   let g = Memo.canonical ctx.memo g in
   let best : (Plan.t * float) option ref = ref None in
   let budget () =
@@ -280,7 +304,9 @@ and search_group ctx g ~req ~limit =
   let files_only =
     List.for_all (fun le -> match le.Memo.node with Memo.L_file _ -> true | Memo.L_op _ -> false) members
   in
-  List.iter (fun le -> cost_lexpr ctx g le ~req ~budget ~consider) members;
+  List.iter
+    (fun le -> cost_lexpr ctx parent g le ~req ~budget ~consider)
+    members;
   (* Enforcers establish required properties on top of a plan for the same
      group optimized under a relaxed requirement.  Stored files are not
      streams; enforcers never apply directly to file groups. *)
@@ -289,8 +315,15 @@ and search_group ctx g ~req ~limit =
       (fun (en : Rule.enforcer) ->
         if en.Rule.en_applies ~req then begin
           let relaxed = restrict_req ctx (en.Rule.en_relaxed ~req) in
-          if not (Descriptor.equal relaxed req) then
-            match optimize_group ctx g ~req:relaxed ~limit:(budget ()) with
+          if not (Descriptor.equal relaxed req) then begin
+            let esp =
+              Span.enter_opt ctx.spans ~rule:en.Rule.en_alg ~parent
+                Span.Enforcer
+            in
+            (match
+               optimize_group_at ctx g ~req:relaxed ~limit:(budget ())
+                 ~parent:esp
+             with
             | None -> ()
             | Some sub ->
               let desc =
@@ -300,7 +333,9 @@ and search_group ctx g ~req ~limit =
                 ctx.st.Stats.enforcer_firings + 1;
               emit ctx (fun () ->
                   Trace.Enforcer_inserted { alg = en.Rule.en_alg; gid = g });
-              consider (Plan.Alg (en.Rule.en_alg, desc, [ sub ])) (Descriptor.cost desc)
+              consider (Plan.Alg (en.Rule.en_alg, desc, [ sub ])) (Descriptor.cost desc));
+            Span.exit_opt ctx.spans esp
+          end
         end)
       ctx.rules.Rule.rs_enforcers;
   let g = Memo.canonical ctx.memo g in
@@ -316,7 +351,7 @@ and search_group ctx g ~req ~limit =
   | Some (plan, cost) when (not ctx.pruning) || cost <= limit -> Some plan
   | Some _ | None -> None
 
-and cost_lexpr ctx g le ~req ~budget ~consider =
+and cost_lexpr ctx parent g le ~req ~budget ~consider =
   match le.Memo.node with
   | Memo.L_file name ->
     (* A stored file delivers its catalog properties at no cost. *)
@@ -325,6 +360,9 @@ and cost_lexpr ctx g le ~req ~budget ~consider =
     List.iter
       (fun (ir : Rule.impl_rule) ->
         if ir.Rule.ir_arity = Array.length le.Memo.inputs then begin
+          let csp =
+            Span.enter_opt ctx.spans ~rule:ir.Rule.ir_name ~parent Span.Cost
+          in
           Stats.record_impl_match ctx.st ir.Rule.ir_name;
           emit ctx (fun () ->
               Trace.Impl_matched { rule = ir.Rule.ir_name; gid = g });
@@ -370,8 +408,8 @@ and cost_lexpr ctx g le ~req ~budget ~consider =
                end
                else
                  match
-                   optimize_group ctx le.Memo.inputs.(!i) ~req:reqs.(!i)
-                     ~limit:sub_limit
+                   optimize_group_at ctx le.Memo.inputs.(!i) ~req:reqs.(!i)
+                     ~limit:sub_limit ~parent:csp
                  with
                  | None ->
                    if ctx.pruning then
@@ -408,11 +446,22 @@ and cost_lexpr ctx g le ~req ~budget ~consider =
               consider (Plan.Alg (ir.Rule.ir_alg, desc, children))
                 (Descriptor.cost desc)
             end
-          end
+          end;
+          Span.exit_opt ctx.spans csp
         end)
       (Rule.impl_rules_for ctx.rules op)
 
+let optimize_group ctx ?span gid ~req ~limit =
+  optimize_group_at ctx gid ~req ~limit ~parent:span
+
 let optimize ?(required = Descriptor.empty) ctx expr =
-  let g = Memo.insert_expr ctx.memo expr in
+  let root = Span.enter_opt ctx.spans ~parent:None Span.Optimize in
+  let g =
+    match root with
+    | None -> Memo.insert_expr ctx.memo expr
+    | Some h -> Memo.insert_expr ctx.memo ~span_parent:h expr
+  in
   let req = restrict_req ctx required in
-  optimize_group ctx g ~req ~limit:infinity_limit
+  let r = optimize_group_at ctx g ~req ~limit:infinity_limit ~parent:root in
+  Span.exit_opt ctx.spans root;
+  r

@@ -27,6 +27,7 @@ val create :
   ?group_budget:int ->
   ?exploration:exploration ->
   ?trace:Prairie_obs.Trace.t ->
+  ?spans:Prairie_obs.Span.t ->
   Rule.ruleset ->
   t
 (** A fresh search context with an empty memo.  [pruning] (default [true])
@@ -39,6 +40,13 @@ val create :
     with {!Explain.trace}).  When absent — the default — each potential
     event costs a single [Option] check and no allocation, so the
     instrumented engine stays within noise of the uninstrumented one.
+
+    [spans] attaches a timed-span sink: the search is bracketed by an
+    [Optimize] root span with nested [Explore]/[Match]/[Apply]/[Cost]/
+    [Enforcer]/[Memo_insert] children carrying rule-name attribution
+    (render with {!Explain.profile}, export with
+    {!Prairie_obs.Span.to_chrome}).  Same disabled-path contract as
+    [trace]: one [Option] check per site when absent.
 
     [group_budget] is the heuristic the paper's conclusion calls for
     ("extensibility must be judiciously coupled with user heuristics to
@@ -55,6 +63,9 @@ val ruleset : t -> Rule.ruleset
 val memo : t -> Memo.t
 val stats : t -> Stats.t
 
+val spans : t -> Prairie_obs.Span.t option
+(** The span sink passed to {!create}, if any. *)
+
 val restrict_req : t -> Prairie.Descriptor.t -> Prairie.Descriptor.t
 (** [Rule.restrict_physical] memoized per descriptor in this context (the
     projection of a requirement onto the rule set's physical properties is
@@ -67,12 +78,19 @@ val optimize :
     (default: none).  [None] means no plan exists. *)
 
 val optimize_group :
-  t -> Memo.gid -> req:Prairie.Descriptor.t -> limit:float -> Plan.t option
-(** The recursive entry point, exposed for tests.  [req] is restricted to
-    the rule set's physical properties.  Under [pruning], plans costing
-    more than [limit] are not returned. *)
+  t ->
+  ?span:Prairie_obs.Span.handle ->
+  Memo.gid ->
+  req:Prairie.Descriptor.t ->
+  limit:float ->
+  Plan.t option
+(** The recursive entry point, exposed for tests and the bottom-up
+    strategy.  [req] is restricted to the rule set's physical
+    properties.  Under [pruning], plans costing more than [limit] are
+    not returned.  [span] is the parent handle new spans nest under
+    when a sink is attached. *)
 
-val explore_group : t -> Memo.gid -> unit
+val explore_group : t -> ?span:Prairie_obs.Span.handle -> Memo.gid -> unit
 (** Saturate one group with transformation-rule applications (recursively
     exploring input groups needed by multi-level patterns).  Exposed for
     the bottom-up strategy, which explores eagerly instead of on demand. *)

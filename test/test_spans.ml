@@ -1,0 +1,524 @@
+(* The span profiler and the serve telemetry endpoint: well-formedness
+   of the span tree (strict nesting, monotonic clocks, self-time
+   accounting), the exact aggregate table, the Chrome trace and
+   Prometheus quantile exports, the slow-query log, and an end-to-end
+   HTTP round trip against the telemetry server. *)
+
+module Span = Prairie_obs.Span
+module Trace = Prairie_obs.Trace
+module Metrics = Prairie_obs.Metrics
+module Slow_log = Prairie_obs.Slow_log
+module Telemetry = Prairie_service.Telemetry
+module Opt = Prairie_optimizers.Optimizers
+module Explain = Prairie_volcano.Explain
+module W = Prairie_workload
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let qtest name ?(count = 50) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* A structural JSON well-formedness scan: brackets balance outside
+   strings, strings terminate, and the document is a single value.  Not
+   a parser, but catches every escaping/nesting mistake an exporter can
+   realistically make. *)
+let json_well_formed s =
+  let n = String.length s in
+  let depth = ref 0 and i = ref 0 and ok = ref true in
+  let in_string = ref false and escaped = ref false in
+  while !ok && !i < n do
+    let c = s.[!i] in
+    (if !in_string then
+       if !escaped then escaped := false
+       else if c = '\\' then escaped := true
+       else if c = '"' then in_string := false
+       else if Char.code c < 0x20 then ok := false
+       else ()
+     else
+       match c with
+       | '"' -> in_string := true
+       | '{' | '[' -> incr depth
+       | '}' | ']' ->
+         decr depth;
+         if !depth < 0 then ok := false
+       | _ -> ());
+    incr i
+  done;
+  !ok && (not !in_string) && !depth = 0
+
+(* ------------------------------------------------------------------ *)
+(* The span sink                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_basics () =
+  let t = Span.create ~capacity:16 () in
+  let root = Span.enter t Span.Optimize in
+  let child = Span.enter t ~rule:"join_commute" ~parent:root Span.Apply in
+  Span.exit t child;
+  let child2 = Span.enter t ~rule:"join_assoc" ~parent:root Span.Match in
+  Span.exit t child2;
+  Span.exit t root;
+  checki "seq" 3 (Span.seq t);
+  checki "length" 3 (Span.length t);
+  checki "dropped" 0 (Span.dropped t);
+  checki "roots" 1 (Span.root_count t);
+  let rs = Span.records t in
+  (* records appear in completion order: children before the root *)
+  (match rs with
+  | [ a; b; c ] ->
+    check "child first" true (a.Span.phase = Span.Apply);
+    checks "rule attribution" "join_commute"
+      (Option.value ~default:"-" a.Span.rule);
+    checki "child parent id" c.Span.id a.Span.parent;
+    checki "root is a root" (-1) c.Span.parent;
+    check "root self + children = total" true
+      Int64.(
+        equal c.Span.dur_ns
+          (add c.Span.self_ns (add a.Span.dur_ns b.Span.dur_ns)))
+  | _ -> Alcotest.fail "expected 3 records");
+  (* exact aggregates: one row per (phase, rule) *)
+  let prof = Span.profile t in
+  checki "aggregate rows" 3 (List.length prof);
+  Span.clear t;
+  checki "cleared" 0 (Span.length t)
+
+let test_span_wraparound () =
+  let t = Span.create ~capacity:4 () in
+  for _ = 1 to 10 do
+    let h = Span.enter t ~rule:"r" Span.Cost in
+    Span.exit t h
+  done;
+  checki "seq counts everything" 10 (Span.seq t);
+  checki "ring keeps capacity" 4 (Span.length t);
+  checki "dropped" 6 (Span.dropped t);
+  (* the aggregate table is exact despite the drops *)
+  match Span.profile t with
+  | [ a ] ->
+    checki "aggregate count survives wrap" 10 a.Span.a_count;
+    checki "root count survives wrap" 10 (Span.root_count t)
+  | l -> Alcotest.failf "expected 1 aggregate row, got %d" (List.length l)
+
+(* Run a randomly generated nesting script and check tree invariants
+   over the emitted records.  The script is a forest of small trees;
+   each node opens a span, recurses, then closes. *)
+type script = Node of int * script list
+
+let script_gen =
+  QCheck2.Gen.(
+    let rec tree depth =
+      if depth = 0 then map (fun p -> Node (p, [])) (0 -- 6)
+      else
+        map2
+          (fun p kids -> Node (p, kids))
+          (0 -- 6)
+          (list_size (0 -- 3) (tree (depth - 1)))
+    in
+    list_size (1 -- 4) (tree 3))
+
+let phase_of_int i =
+  List.nth Span.all_phases (i mod List.length Span.all_phases)
+
+let run_script t forest =
+  let rec go parent (Node (p, kids)) =
+    let h = Span.enter t ?parent ~rule:"r" (phase_of_int p) in
+    List.iter (go (Some h)) kids;
+    Span.exit t h
+  in
+  List.iter (go None) forest
+
+let prop_span_well_formed =
+  qtest "span records are well-formed" ~count:100 script_gen (fun forest ->
+      let t = Span.create ~capacity:4096 () in
+      run_script t forest;
+      let rs = Span.records t in
+      let by_id = Hashtbl.create 64 in
+      List.iter (fun (r : Span.record) -> Hashtbl.replace by_id r.Span.id r) rs;
+      List.for_all
+        (fun (r : Span.record) ->
+          let end_ns = Int64.add r.Span.start_ns r.Span.dur_ns in
+          (* positive durations from the strictly monotonic clock *)
+          Int64.compare r.Span.dur_ns 0L > 0
+          && Int64.compare r.Span.self_ns 0L >= 0
+          && Int64.compare r.Span.self_ns r.Span.dur_ns <= 0
+          &&
+          match Hashtbl.find_opt by_id r.Span.parent with
+          | None -> r.Span.parent = -1
+          | Some (p : Span.record) ->
+            (* strict nesting: parent opened before, closed after *)
+            Int64.compare p.Span.start_ns r.Span.start_ns < 0
+            && Int64.compare end_ns (Int64.add p.Span.start_ns p.Span.dur_ns) < 0)
+        rs
+      &&
+      (* children sum <= parent duration, per parent *)
+      let child_sum = Hashtbl.create 64 in
+      List.iter
+        (fun (r : Span.record) ->
+          if r.Span.parent >= 0 then
+            Hashtbl.replace child_sum r.Span.parent
+              (Int64.add r.Span.dur_ns
+                 (Option.value ~default:0L
+                    (Hashtbl.find_opt child_sum r.Span.parent))))
+        rs;
+      List.for_all
+        (fun (r : Span.record) ->
+          match Hashtbl.find_opt child_sum r.Span.id with
+          | None -> true
+          | Some sum ->
+            Int64.compare sum r.Span.dur_ns <= 0
+            && Int64.equal r.Span.self_ns (Int64.sub r.Span.dur_ns sum))
+        rs)
+
+(* Telescoping identity: every span's self time is its duration minus
+   its children's, so summing self over the exact aggregate table must
+   reproduce the rooted total exactly — no tolerance needed. *)
+let test_profile_self_sums_to_root_total () =
+  let inst = W.Queries.instance W.Queries.Q5 ~joins:2 ~seed:101 in
+  let opt = Opt.oodb_prairie inst.W.Queries.catalog in
+  let sink = Span.create ~capacity:256 () in
+  (* small capacity on purpose: aggregates must stay exact through drops *)
+  ignore (Opt.optimize ~spans:sink opt inst.W.Queries.expr);
+  check "spans recorded" true (Span.seq sink > 100);
+  check "ring dropped some" true (Span.dropped sink > 0);
+  checki "one root" 1 (Span.root_count sink);
+  let self_sum =
+    List.fold_left
+      (fun acc a -> Int64.add acc a.Span.a_self_ns)
+      0L (Span.profile sink)
+  in
+  check "sum(self) = rooted total" true
+    (Int64.equal self_sum (Span.root_total_ns sink))
+
+let test_profile_total_close_to_wall () =
+  let inst = W.Queries.instance W.Queries.Q7 ~joins:2 ~seed:101 in
+  let opt = Opt.oodb_prairie inst.W.Queries.catalog in
+  let sink = Span.create () in
+  let t0 = Unix.gettimeofday () in
+  ignore (Opt.optimize ~spans:sink opt inst.W.Queries.expr);
+  let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let rooted = Int64.to_float (Span.root_total_ns sink) in
+  (* the root span excludes only query preparation and plan extraction;
+     the acceptance bound is 10%, test generously at 30% for CI noise *)
+  check "rooted total within 30% of wall" true
+    (Float.abs (rooted -. wall_ns) < 0.30 *. wall_ns);
+  (* the rendered profile mentions the hot rules *)
+  let s = Explain.profile_to_string sink in
+  check "profile has header" true (contains s "span profile:");
+  check "profile has phase column" true (contains s "apply");
+  check "profile attributes rules" true (contains s "join")
+
+let test_spans_are_pure () =
+  let inst = W.Queries.instance W.Queries.Q5 ~joins:2 ~seed:101 in
+  let opt = Opt.oodb_prairie inst.W.Queries.catalog in
+  let plain = Opt.optimize opt inst.W.Queries.expr in
+  let sink = Span.create () in
+  let profiled = Opt.optimize ~spans:sink opt inst.W.Queries.expr in
+  check "same cost with spans attached" true
+    (Float.equal plain.Opt.cost profiled.Opt.cost);
+  checks "same plan"
+    (match plain.Opt.plan with
+    | Some p -> Explain.summary p
+    | None -> "-")
+    (match profiled.Opt.plan with
+    | Some p -> Explain.summary p
+    | None -> "-")
+
+let test_disabled_path_is_cheap () =
+  (* the disabled fast path is one Option check; a million no-op
+     enter/exit pairs must be far under any per-event budget.  The bound
+     is deliberately loose (CI machines throttle) — it exists to catch
+     an accidental allocation or clock read on the None path. *)
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 1_000_000 do
+    let h = Span.enter_opt None ~parent:None Span.Match in
+    Span.exit_opt None (Sys.opaque_identity h)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  check "1M disabled enter/exit pairs under 0.5s" true (dt < 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_export_shape () =
+  let t = Span.create () in
+  let root = Span.enter t Span.Optimize in
+  let c = Span.enter t ~rule:"select_push \"quoted\"" ~parent:root Span.Apply in
+  Span.exit t c;
+  Span.exit t root;
+  let s = Span.to_chrome t in
+  check "well-formed json" true (json_well_formed s);
+  check "trace events array" true (contains s "\"traceEvents\"");
+  check "complete events" true (contains s "\"ph\":\"X\"");
+  check "process metadata" true (contains s "\"process_name\"");
+  check "rule escaped into args" true (contains s "\\\"quoted\\\"");
+  check "microsecond fields" true (contains s "\"dur\":")
+
+let test_chrome_of_trace_shape () =
+  let inst = W.Queries.instance W.Queries.Q1 ~joins:2 ~seed:101 in
+  let opt = Opt.oodb_prairie inst.W.Queries.catalog in
+  let sink = Trace.create () in
+  ignore (Opt.optimize ~trace:sink opt inst.W.Queries.expr);
+  let s = Span.chrome_of_trace sink in
+  check "well-formed json" true (json_well_formed s);
+  check "instant events" true (contains s "\"ph\":\"i\"");
+  check "original events under args" true (contains s "\"event\":")
+
+(* ------------------------------------------------------------------ *)
+(* Quantile summaries                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_quantile_estimation () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~buckets:[ 1.0; 2.0; 4.0; 8.0 ] "q_test" in
+  check "empty quantile is nan" true (Float.is_nan (Metrics.quantile h 0.5));
+  (* 100 observations of 1.5: everything sits in the (1, 2] bucket *)
+  for _ = 1 to 100 do
+    Metrics.observe h 1.5
+  done;
+  let p50 = Metrics.quantile h 0.5 in
+  check "p50 inside the owning bucket" true (p50 > 1.0 && p50 <= 2.0);
+  check "p0 is the lower edge" true (Metrics.quantile h 0.0 <= 1.0);
+  (* beyond the largest finite bound: degrade to that bound *)
+  Metrics.observe h 100.0;
+  check "overflow degrades to top bound" true
+    (Float.equal (Metrics.quantile h 0.999) 8.0);
+  Alcotest.check_raises "q out of range" (Invalid_argument "Metrics.quantile")
+    (fun () -> ignore (Metrics.quantile h 1.5))
+
+let test_prometheus_quantile_lines () =
+  let m = Metrics.create () in
+  let h =
+    Metrics.histogram m ~help:"latency" ~labels:[ ("ruleset", "oodb") ]
+      "prairie_serve_search_seconds"
+  in
+  Metrics.observe h 0.002;
+  Metrics.observe h 0.004;
+  let s = Metrics.to_prometheus m in
+  List.iter
+    (fun (suffix, _) ->
+      let name = "prairie_serve_search_seconds_" ^ suffix in
+      check (name ^ " sample") true
+        (contains s (name ^ "{ruleset=\"oodb\"} "));
+      check (name ^ " typed as gauge") true
+        (contains s ("# TYPE " ^ name ^ " gauge")))
+    Metrics.summary_quantiles;
+  (* empty histograms must not emit quantile series *)
+  let m2 = Metrics.create () in
+  ignore (Metrics.histogram m2 "empty_h");
+  check "no quantiles for empty histogram" false
+    (contains (Metrics.to_prometheus m2) "empty_h_p50")
+
+let test_jsonl_quantile_fields () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "h" in
+  Metrics.observe h 0.01;
+  let s = Metrics.to_jsonl m in
+  check "jsonl carries p50" true (contains s "\"p50\":");
+  check "jsonl carries p99" true (contains s "\"p99\":");
+  check "jsonl well-formed" true
+    (List.for_all json_well_formed
+       (List.filter
+          (fun l -> String.length l > 0)
+          (String.split_on_char '\n' s)))
+
+(* ------------------------------------------------------------------ *)
+(* The slow-query log                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let observe log ~seconds =
+  Slow_log.observe log ~ruleset:"oodb" ~fingerprint:"abc" ~seconds ~cost:1.0
+    ~groups:10 ~budget_hit:false ~cache_hit:false
+
+let test_slow_log_threshold () =
+  let log = Slow_log.create ~capacity:4 ~threshold:0.1 () in
+  observe log ~seconds:0.05;
+  checki "below threshold ignored" 0 (Slow_log.length log);
+  observe log ~seconds:0.1;
+  observe log ~seconds:0.25;
+  checki "recorded at/above threshold" 2 (Slow_log.length log);
+  for i = 1 to 5 do
+    observe log ~seconds:(0.3 +. float_of_int i)
+  done;
+  checki "bounded ring" 4 (Slow_log.length log);
+  checki "dropped" 3 (Slow_log.dropped log);
+  let s = Slow_log.to_json log in
+  check "to_json well-formed" true (json_well_formed s);
+  check "json threshold" true (contains s "\"threshold_s\":0.1");
+  check "json entries" true (contains s "\"fingerprint\":\"abc\"");
+  Alcotest.check_raises "negative threshold"
+    (Invalid_argument "Slow_log.create: negative threshold") (fun () ->
+      ignore (Slow_log.create ~threshold:(-1.0) ()))
+
+let test_slow_log_from_optimize () =
+  let inst = W.Queries.instance W.Queries.Q5 ~joins:2 ~seed:101 in
+  let opt = Opt.oodb_prairie inst.W.Queries.catalog in
+  (* threshold 0: every search is "slow" and must be recorded with its
+     real fingerprint and group count *)
+  let log = Slow_log.create ~threshold:0.0 () in
+  ignore (Opt.optimize ~slow_log:log opt inst.W.Queries.expr);
+  checki "optimize recorded" 1 (Slow_log.length log);
+  (match Slow_log.entries log with
+  | [ e ] ->
+    checks "ruleset name" "oodb-prairie" e.Slow_log.ruleset;
+    check "groups recorded" true (e.Slow_log.groups > 0);
+    check "fingerprint recorded" true (String.length e.Slow_log.fingerprint > 0)
+  | _ -> Alcotest.fail "expected one entry");
+  (* a high threshold records nothing for this tiny query *)
+  let quiet = Slow_log.create ~threshold:3600.0 () in
+  ignore (Opt.optimize ~slow_log:quiet opt inst.W.Queries.expr);
+  checki "fast search not recorded" 0 (Slow_log.length quiet)
+
+let test_slow_log_from_serve () =
+  let cat =
+    W.Catalogs.make (W.Catalogs.default_spec ~classes:3 ~indexed:true ~seed:101)
+  in
+  let opt = Opt.oodb_prairie cat in
+  let reqs =
+    List.map
+      (fun joins -> Opt.request (W.Expressions.e1 cat ~joins))
+      [ 1; 2; 1; 2 ]
+  in
+  let log = Slow_log.create ~threshold:0.0 () in
+  let served = Opt.serve ~jobs:2 ~slow_log:log opt reqs in
+  checki "served everything" 4 (List.length served);
+  (* batch dedup: only the distinct searches run and get logged *)
+  checki "one entry per fresh search" 2 (Slow_log.length log)
+
+(* ------------------------------------------------------------------ *)
+(* The telemetry endpoint, end to end                                  *)
+(* ------------------------------------------------------------------ *)
+
+let http_get port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      let buf = Bytes.create 4096 in
+      let acc = Buffer.create 256 in
+      let rec drain () =
+        match Unix.read sock buf 0 (Bytes.length buf) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes acc buf 0 n;
+          drain ()
+      in
+      drain ();
+      Buffer.contents acc)
+
+let test_telemetry_endpoint () =
+  let m = Metrics.create () in
+  let h =
+    Metrics.histogram m ~labels:[ ("ruleset", "oodb") ]
+      "prairie_serve_search_seconds"
+  in
+  Metrics.observe h 0.002;
+  let log = Slow_log.create ~threshold:0.0 () in
+  observe log ~seconds:0.5;
+  let server = Telemetry.start ~metrics:m ~slow_log:log ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Telemetry.stop server)
+    (fun () ->
+      let port = Telemetry.port server in
+      check "ephemeral port resolved" true (port > 0);
+      let health = http_get port "/healthz" in
+      check "healthz 200" true (contains health "HTTP/1.0 200 OK");
+      check "healthz body" true (contains health "ok\n");
+      let metrics_resp = http_get port "/metrics" in
+      check "metrics 200" true (contains metrics_resp "HTTP/1.0 200 OK");
+      check "metrics has histogram" true
+        (contains metrics_resp "prairie_serve_search_seconds_count");
+      check "metrics has p99 summary" true
+        (contains metrics_resp "prairie_serve_search_seconds_p99");
+      let tracez = http_get port "/tracez" in
+      check "tracez 200" true (contains tracez "HTTP/1.0 200 OK");
+      check "tracez json" true (contains tracez "\"fingerprint\":\"abc\"");
+      let missing = http_get port "/nope" in
+      check "unknown route 404" true (contains missing "HTTP/1.0 404");
+      (* sequential accept loop: it must survive many requests *)
+      for _ = 1 to 5 do
+        ignore (http_get port "/healthz")
+      done;
+      check "still alive" true (contains (http_get port "/healthz") "200 OK"));
+  (* stop is idempotent and frees the port *)
+  Telemetry.stop server
+
+let test_telemetry_405 () =
+  let server = Telemetry.start ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Telemetry.stop server)
+    (fun () ->
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect sock
+            (Unix.ADDR_INET
+               (Unix.inet_addr_of_string "127.0.0.1", Telemetry.port server));
+          let req = "POST /metrics HTTP/1.0\r\n\r\n" in
+          ignore (Unix.write_substring sock req 0 (String.length req));
+          let buf = Bytes.create 1024 in
+          let n = Unix.read sock buf 0 1024 in
+          check "post rejected" true
+            (contains (Bytes.sub_string buf 0 n) "HTTP/1.0 405"));
+      (* an endpoint with no registry returns an empty 200, not an error *)
+      let resp = http_get (Telemetry.port server) "/metrics" in
+      check "no registry still 200" true (contains resp "HTTP/1.0 200 OK"))
+
+let suites =
+  [
+    ( "spans.sink",
+      [
+        Alcotest.test_case "enter/exit basics" `Quick test_span_basics;
+        Alcotest.test_case "ring wraparound keeps aggregates exact" `Quick
+          test_span_wraparound;
+        prop_span_well_formed;
+        Alcotest.test_case "disabled path is one Option check" `Quick
+          test_disabled_path_is_cheap;
+      ] );
+    ( "spans.engine",
+      [
+        Alcotest.test_case "sum(self) = rooted total, exactly" `Quick
+          test_profile_self_sums_to_root_total;
+        Alcotest.test_case "rooted total ~ wall time (Q7)" `Quick
+          test_profile_total_close_to_wall;
+        Alcotest.test_case "spans never change the result" `Quick
+          test_spans_are_pure;
+      ] );
+    ( "spans.export",
+      [
+        Alcotest.test_case "chrome trace shape" `Quick test_chrome_export_shape;
+        Alcotest.test_case "chrome view of an event trace" `Quick
+          test_chrome_of_trace_shape;
+        Alcotest.test_case "quantile estimation" `Quick test_quantile_estimation;
+        Alcotest.test_case "prometheus p50/p90/p99 lines" `Quick
+          test_prometheus_quantile_lines;
+        Alcotest.test_case "jsonl quantile fields" `Quick
+          test_jsonl_quantile_fields;
+      ] );
+    ( "spans.slowlog",
+      [
+        Alcotest.test_case "threshold and bounded ring" `Quick
+          test_slow_log_threshold;
+        Alcotest.test_case "recorded from optimize" `Quick
+          test_slow_log_from_optimize;
+        Alcotest.test_case "recorded from serve workers" `Quick
+          test_slow_log_from_serve;
+      ] );
+    ( "spans.telemetry",
+      [
+        Alcotest.test_case "endpoint round trip" `Quick test_telemetry_endpoint;
+        Alcotest.test_case "405 and registry-less metrics" `Quick
+          test_telemetry_405;
+      ] );
+  ]
