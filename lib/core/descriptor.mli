@@ -66,18 +66,30 @@ val restrict_set : t -> String_set.t -> t
 val without_set : t -> String_set.t -> t
 
 val equal : t -> t -> bool
+(** Pointer equality first (covers every pair interned by the same
+    generation of the same domain's pool), then the cached-hash pre-check,
+    then structural comparison of the binding maps.  The fallbacks make
+    equality sound for descriptors interned in {e different domains} (or
+    different pool generations): two such records are never physically
+    equal and may even collide on {!id}, but they compare equal exactly
+    when their bindings do. *)
 
 val compare : t -> t -> int
 (** Structural comparison (not id-based): deterministic across runs and
     domains. *)
 
 val hash : t -> int
-(** O(1): returns the hash precomputed at interning time. *)
+(** O(1): returns the hash precomputed at interning time.  The hash is a
+    pure function of the bindings, so equal descriptors hash equal no
+    matter which domain interned them. *)
 
 module Tbl : Hashtbl.S with type key = t
 (** Hash tables keyed by descriptor, using the cached hash and the
     pointer-fast-path equality.  This is the right structure for winner
-    tables and per-descriptor memo caches. *)
+    tables and per-descriptor memo caches.  Safe to share across domains
+    (with external synchronization of the table itself): keys interned in
+    one domain are found by structurally equal probes interned in another,
+    because {!equal}/{!hash} never depend on pool identity. *)
 
 val add_fingerprint : Buffer.t -> t -> unit
 (** Append an injective canonical serialization of the bindings to a buffer

@@ -6,7 +6,8 @@
    accurate even when the ring wraps.  Parents are explicit handles
    threaded by the caller — there is no global (or domain-local)
    "current span" variable, so the discipline survives multi-domain
-   exploration: each domain owns its sink and threads its own handles.
+   exploration.  Sink state is mutex-protected so concurrent emitters
+   may share one sink; handle trees remain single-domain.
 
    Timestamps come from [Unix.gettimeofday] (OCaml 5.1 ships no
    monotonic clock in the stdlib and Mtime is not vendored) made
@@ -80,6 +81,11 @@ type t = {
   mutable root_total_ns : int64;
   mutable root_count : int;
   agg : (string, agg) Hashtbl.t;  (* keyed by phase_label ^ "/" ^ rule *)
+  mutex : Mutex.t;
+      (* guards every field above: a sink may be shared by concurrent
+         emitters (service worker domains, parallel search), and the agg
+         table in particular corrupts under unsynchronized writes.  Handle
+         trees stay single-domain — only sink state is protected. *)
 }
 
 let create ?(capacity = 65536) () =
@@ -91,14 +97,20 @@ let create ?(capacity = 65536) () =
     root_total_ns = 0L;
     root_count = 0;
     agg = Hashtbl.create 64;
+    mutex = Mutex.create ();
   }
 
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
 let capacity t = Array.length t.buf
-let seq t = t.n
-let length t = min t.n (Array.length t.buf)
-let dropped t = t.n - length t
-let root_total_ns t = t.root_total_ns
-let root_count t = t.root_count
+let seq t = with_lock t (fun () -> t.n)
+let length_unlocked t = min t.n (Array.length t.buf)
+let length t = with_lock t (fun () -> length_unlocked t)
+let dropped t = with_lock t (fun () -> t.n - length_unlocked t)
+let root_total_ns t = with_lock t (fun () -> t.root_total_ns)
+let root_count t = with_lock t (fun () -> t.root_count)
 
 (* strictly increasing per sink: gettimeofday has µs resolution, so
    back-to-back readings tie frequently; ties advance by 1 ns *)
@@ -111,15 +123,19 @@ let now_ns t =
   ns
 
 let enter t ?rule ?parent phase =
-  let id = t.next_id in
-  t.next_id <- id + 1;
+  let id, start =
+    with_lock t (fun () ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        (id, now_ns t))
+  in
   let minor, _promoted, major = Gc.counters () in
   {
     h_id = id;
     h_parent = parent;
     h_phase = phase;
     h_rule = rule;
-    h_start = now_ns t;
+    h_start = start;
     h_minor0 = minor;
     h_major0 = major;
     h_children_ns = 0L;
@@ -131,10 +147,11 @@ let agg_key phase rule =
   | Some r -> phase_label phase ^ "/" ^ r
 
 let exit t h =
-  let stop = now_ns t in
-  let dur = Int64.sub stop h.h_start in
   let minor, _promoted, major = Gc.counters () in
   let minor_w = minor -. h.h_minor0 and major_w = major -. h.h_major0 in
+  with_lock t @@ fun () ->
+  let stop = now_ns t in
+  let dur = Int64.sub stop h.h_start in
   let self = Int64.sub dur h.h_children_ns in
   (match h.h_parent with
   | Some p -> p.h_children_ns <- Int64.add p.h_children_ns dur
@@ -189,13 +206,15 @@ let exit_opt t h =
   | _ -> ()
 
 let records t =
-  List.init (length t) (fun i ->
-      let s = dropped t + i in
-      match t.buf.(s mod Array.length t.buf) with
-      | Some r -> r
-      | None -> assert false (* slots below [length] are always filled *))
+  with_lock t (fun () ->
+      List.init (length_unlocked t) (fun i ->
+          let s = t.n - length_unlocked t + i in
+          match t.buf.(s mod Array.length t.buf) with
+          | Some r -> r
+          | None -> assert false (* slots below [length] are always filled *)))
 
 let clear t =
+  with_lock t @@ fun () ->
   Array.fill t.buf 0 (Array.length t.buf) None;
   t.n <- 0;
   t.next_id <- 0;
@@ -203,8 +222,13 @@ let clear t =
   t.root_count <- 0;
   Hashtbl.reset t.agg
 
+(* copy the aggregates out under the lock so a concurrent [exit] cannot
+   mutate a cell mid-sort or mid-render *)
 let profile t =
-  Hashtbl.fold (fun _ a acc -> a :: acc) t.agg []
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun _ a acc -> { a with a_count = a.a_count } :: acc)
+        t.agg [])
   |> List.sort (fun a b ->
          match Int64.compare b.a_self_ns a.a_self_ns with
          | 0 -> compare (agg_key a.a_phase a.a_rule) (agg_key b.a_phase b.a_rule)

@@ -7,7 +7,11 @@
     when exploration goes multi-domain: give each domain its own sink
     and thread handles within it.
 
-    Sinks are single-domain (not mutex-protected), like {!Trace}.
+    Sinks are safe to share across domains, like {!Trace}: enter, exit,
+    reads and clear all hold the sink's internal mutex, so concurrent
+    emitters never lose records, tear counters, or corrupt the aggregate
+    table.  A {e handle} tree is still single-domain — only sink state is
+    protected; open and close any given span from the same domain.
     Timestamps are wall-clock nanoseconds made strictly monotonic per
     sink (OCaml 5.1 ships no stdlib monotonic clock; readings that do
     not advance are bumped by 1 ns). *)

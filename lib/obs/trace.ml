@@ -26,31 +26,45 @@ type event =
 type t = {
   buf : event option array;
   mutable n : int;  (* total emitted; the next sequence number *)
+  mutex : Mutex.t;
+      (* guards [buf] and [n]: a sink may be shared by concurrent emitters
+         (the plan service's worker domains, parallel exploration), and an
+         unguarded [n] increment would both lose events and let a reader
+         observe a slot/counter mismatch *)
 }
 
 let create ?(capacity = 65536) () =
-  { buf = Array.make (max 1 capacity) None; n = 0 }
+  { buf = Array.make (max 1 capacity) None; n = 0; mutex = Mutex.create () }
 
 let capacity t = Array.length t.buf
 
-let emit t ev =
-  t.buf.(t.n mod Array.length t.buf) <- Some ev;
-  t.n <- t.n + 1
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let seq t = t.n
-let length t = min t.n (Array.length t.buf)
-let dropped t = t.n - length t
+let emit t ev =
+  with_lock t (fun () ->
+      t.buf.(t.n mod Array.length t.buf) <- Some ev;
+      t.n <- t.n + 1)
+
+let seq t = with_lock t (fun () -> t.n)
+
+let length_unlocked t = min t.n (Array.length t.buf)
+let length t = with_lock t (fun () -> length_unlocked t)
+let dropped t = with_lock t (fun () -> t.n - length_unlocked t)
 
 let events t =
-  List.init (length t) (fun i ->
-      let s = dropped t + i in
-      match t.buf.(s mod Array.length t.buf) with
-      | Some ev -> (s, ev)
-      | None -> assert false (* slots below [length] are always filled *))
+  with_lock t (fun () ->
+      List.init (length_unlocked t) (fun i ->
+          let s = t.n - length_unlocked t + i in
+          match t.buf.(s mod Array.length t.buf) with
+          | Some ev -> (s, ev)
+          | None -> assert false (* slots below [length] are always filled *)))
 
 let clear t =
-  Array.fill t.buf 0 (Array.length t.buf) None;
-  t.n <- 0
+  with_lock t (fun () ->
+      Array.fill t.buf 0 (Array.length t.buf) None;
+      t.n <- 0)
 
 let kind = function
   | Group_created _ -> "group_created"

@@ -14,8 +14,12 @@
     answer "why was this plan chosen" and "why did rule X never fire"
     (see [Explain.trace] in [prairie_volcano]).
 
-    A sink is single-domain, like the [Search.t] it instruments: the plan
-    service gives each worker its own sink (or none). *)
+    A sink is safe to share across domains: every operation (emit, reads,
+    clear) holds the sink's internal mutex, so concurrent emitters never
+    lose events or tear the sequence counter, and [events] always returns
+    a consistent snapshot.  The plan service still prefers one sink per
+    worker — sharing is for the parallel search and ad-hoc telemetry, not
+    a throughput feature. *)
 
 (** Why a matched rule did not produce a plan. *)
 type reason =

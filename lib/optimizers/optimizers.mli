@@ -42,6 +42,7 @@ val oodb_ruleset : Prairie_catalog.Catalog.t -> Prairie.Ruleset.t
 val optimize :
   ?pruning:bool ->
   ?group_budget:int ->
+  ?search_jobs:int ->
   ?required:Prairie.Descriptor.t ->
   ?trace:Prairie_obs.Trace.t ->
   ?spans:Prairie_obs.Span.t ->
@@ -53,6 +54,10 @@ val optimize :
 (** Prepare the query, run the search from a fresh memo and return the
     best plan with the search context (for group counts and rule-match
     statistics).
+
+    [search_jobs] is the intra-query exploration parallelism (the [jobs]
+    of {!Prairie_volcano.Search.create}; default: [PRAIRIE_SEARCH_JOBS],
+    else 1).  Costs and plans are byte-identical at any value.
 
     [trace] attaches a structured event sink to the search (see
     {!Prairie_volcano.Search.create} and {!Prairie_volcano.Explain.trace});
@@ -99,6 +104,7 @@ val serve :
   ?pruning:bool ->
   ?group_budget:int ->
   ?jobs:int ->
+  ?search_jobs:int ->
   ?cache:Plan_cache.t ->
   ?metrics:Prairie_obs.Metrics.t ->
   ?slow_log:Prairie_obs.Slow_log.t ->
@@ -106,7 +112,10 @@ val serve :
   request list ->
   served list
 (** Optimize a batch, in request order.  [jobs] is the worker count
-    (default {!Pool.default_jobs}; [1] is fully sequential).  [cache] is
+    (default {!Pool.default_jobs}; [1] is fully sequential).
+    [search_jobs] is the per-search exploration parallelism each worker's
+    {!Prairie_volcano.Search.t} runs at — keep [jobs × search_jobs] near
+    the core count.  [cache] is
     consulted before and populated after every search; omitting it still
     deduplicates within the batch.  [group_budget] is the per-request
     budget: an over-large query degrades gracefully instead of stalling a

@@ -28,16 +28,26 @@ let map ?jobs ?(on_item = no_notify) f items =
           let i = Atomic.fetch_and_add next 1 in
           if i >= n || Atomic.get error <> None then raise Stop;
           match f arr.(i) with
-          | v ->
+          | v -> (
             results.(i) <- Some v;
-            on_item ~worker:w
+            (* [on_item] is caller code: a raise here must stop the run and
+               surface after the join, not escape mid-loop (from worker 0
+               that would leak every spawned domain). *)
+            try on_item ~worker:w
+            with e ->
+              ignore (Atomic.compare_and_set error None (Some e));
+              raise Stop)
           | exception e -> ignore (Atomic.compare_and_set error None (Some e))
         done
       with Stop -> ()
     in
     let domains = List.init (jobs - 1) (fun i -> Domain.spawn (worker (i + 1))) in
-    worker 0 ();
-    List.iter Domain.join domains;
+    (* Join unconditionally: even if the calling thread's own worker raises
+       outside the [Stop] path (asynchronous exceptions, say), the spawned
+       domains must not be left unjoined. *)
+    Fun.protect
+      ~finally:(fun () -> List.iter Domain.join domains)
+      (fun () -> worker 0 ());
     match Atomic.get error with
     | Some e -> raise e
     | None ->

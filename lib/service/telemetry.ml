@@ -27,20 +27,26 @@ let http_status = function
   | 405 -> "405 Method Not Allowed"
   | _ -> "400 Bad Request"
 
-let write_all fd s =
+exception Client_deadline
+
+(* SO_SNDTIMEO bounds each [write]; the deadline bounds the whole
+   response, so a slow reader draining one buffer per timeout cannot
+   hold the sequential accept loop indefinitely *)
+let write_all ~deadline fd s =
   let n = String.length s in
   let pos = ref 0 in
   while !pos < n do
+    if Unix.gettimeofday () > deadline then raise Client_deadline;
     pos := !pos + Unix.write_substring fd s !pos (n - !pos)
   done
 
-let respond fd ~status ~content_type body =
+let respond ~deadline fd ~status ~content_type body =
   let head =
     Printf.sprintf
       "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
       (http_status status) content_type (String.length body)
   in
-  write_all fd (head ^ body)
+  write_all ~deadline fd (head ^ body)
 
 (* Read until the blank line ending the request head (we ignore bodies:
    every route is a GET) or until a small cap, whichever comes first. *)
@@ -51,12 +57,18 @@ let contains_terminator s =
   in
   go 0
 
-let read_request fd =
+(* SO_RCVTIMEO bounds each [read]; the overall deadline defeats the
+   slow-loris shape (one byte per almost-timeout) that per-read timeouts
+   alone cannot *)
+let read_request ~deadline fd =
   let cap = 8192 in
   let buf = Bytes.create 1024 in
   let acc = Buffer.create 256 in
   let rec loop () =
-    if Buffer.length acc >= cap || contains_terminator (Buffer.contents acc)
+    if
+      Buffer.length acc >= cap
+      || contains_terminator (Buffer.contents acc)
+      || Unix.gettimeofday () > deadline
     then Buffer.contents acc
     else
       match Unix.read fd buf 0 (Bytes.length buf) with
@@ -84,8 +96,9 @@ let parse_request_line req =
       Some (meth, path)
     | _ -> None)
 
-let handle ~metrics ~slow_log fd =
-  let req = read_request fd in
+let handle ~metrics ~slow_log ~deadline fd =
+  let respond = respond ~deadline in
+  let req = read_request ~deadline fd in
   match parse_request_line req with
   | None -> respond fd ~status:400 ~content_type:"text/plain" "bad request\n"
   | Some (meth, _) when meth <> "GET" ->
@@ -108,20 +121,25 @@ let handle ~metrics ~slow_log fd =
   | Some (_, _) ->
     respond fd ~status:404 ~content_type:"text/plain" "not found\n"
 
-let serve_loop sock stopping metrics slow_log =
+let serve_loop sock stopping metrics slow_log client_timeout =
   let continue = ref true in
   while !continue && not (Atomic.get stopping) do
     match Unix.accept sock with
     | client, _ ->
       if Atomic.get stopping then Unix.close client
       else begin
-        (try Unix.setsockopt_float client Unix.SO_RCVTIMEO 5.0
+        (* per-syscall timeouts in both directions; a client that is
+           merely slow rather than silent is cut by the deadline below *)
+        (try
+           Unix.setsockopt_float client Unix.SO_RCVTIMEO client_timeout;
+           Unix.setsockopt_float client Unix.SO_SNDTIMEO client_timeout
          with Unix.Unix_error _ -> ());
+        let deadline = Unix.gettimeofday () +. client_timeout in
         Fun.protect
           ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
           (fun () ->
-            try handle ~metrics ~slow_log client with
-            | Unix.Unix_error _ -> ())
+            try handle ~metrics ~slow_log ~deadline client with
+            | Unix.Unix_error _ | Client_deadline -> ())
       end
     | exception Unix.Unix_error (EINTR, _, _) -> ()
     | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED), _, _) ->
@@ -129,7 +147,8 @@ let serve_loop sock stopping metrics slow_log =
       continue := false
   done
 
-let start ?(addr = "127.0.0.1") ?metrics ?slow_log ~port () =
+let start ?(addr = "127.0.0.1") ?metrics ?slow_log ?(client_timeout = 5.0)
+    ~port () =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -143,9 +162,11 @@ let start ?(addr = "127.0.0.1") ?metrics ?slow_log ~port () =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> port
   in
+  let client_timeout = max 0.01 client_timeout in
   let stopping = Atomic.make false in
   let server =
-    Domain.spawn (fun () -> serve_loop sock stopping metrics slow_log)
+    Domain.spawn (fun () ->
+        serve_loop sock stopping metrics slow_log client_timeout)
   in
   { sock; addr; port; stopping; server }
 

@@ -19,6 +19,7 @@ val start :
   ?addr:string ->
   ?metrics:Prairie_obs.Metrics.t ->
   ?slow_log:Prairie_obs.Slow_log.t ->
+  ?client_timeout:float ->
   port:int ->
   unit ->
   t
@@ -26,6 +27,13 @@ val start :
     ephemeral port — read it back with {!port}) and serve from a fresh
     domain.  The registry and slow log lock internally, so the optimizer
     keeps writing them while the server reads.
+
+    [client_timeout] (seconds, default 5, min 0.01) bounds each accepted
+    connection three ways: [SO_RCVTIMEO] and [SO_SNDTIMEO] cap every
+    individual read/write, and an overall per-client deadline caps the
+    whole exchange — so a client that connects and never sends (or
+    drips/drains one byte per almost-timeout) is dropped and the
+    sequential accept loop moves on to the next connection.
     @raise Unix.Unix_error when the bind fails (e.g. port in use). *)
 
 val port : t -> int

@@ -9,6 +9,12 @@ type lnode =
   | L_op of string
   | L_file of string
 
+(* [inputs] is canonicalized *in place* during post-merge repair: a slot is
+   only ever overwritten with the canonical id of its previous value, so
+   [canonical inputs.(i)] is stable across the mutation and matching
+   results are unaffected.  The record itself is never re-allocated —
+   member identity (and the packed [tried] keys hanging off [id]) survives
+   repair. *)
 type lexpr = {
   id : int;
   node : lnode;
@@ -28,14 +34,24 @@ type winner = {
 
 (* [members] is kept newest-first (insertion prepends), so [lexprs] returns
    it without allocating; older code stored it oldest-first and paid a
-   [List.rev] per call in the innermost explore/cost loops. *)
+   [List.rev] per call in the innermost explore/cost loops.
+
+   [version] counts observable membership changes (insert, merge splice,
+   duplicate drop) — the speculative parallel explorer records it in read
+   sets and revalidates before committing.  In-place input
+   canonicalization does not bump it: matching only ever consumes inputs
+   through [canonical], which the rewrite preserves.
+
+   [w_epoch] keys this group's entries in the striped winner store;
+   bumping it on merge invalidates every memoized winner in O(1). *)
 type group = {
   g_id : gid;
   mutable members : lexpr list;
   mutable desc : Descriptor.t;
   mutable explored : bool;
   mutable exploring : bool;
-  winners : winner Descriptor.Tbl.t;
+  mutable version : int;
+  mutable w_epoch : int;
 }
 
 module Key = struct
@@ -67,14 +83,42 @@ end
 
 module Ktbl = Hashtbl.Make (Key)
 
+(* Winners live in a lock-striped store keyed by (group, epoch, required
+   descriptor) instead of per-group tables: striping keeps probes sound if
+   several domains ever cost concurrently, and the epoch indirection turns
+   per-merge winner invalidation from a table reset into one counter
+   bump. *)
+module Wkey = struct
+  type t = int * int * Descriptor.t
+
+  let equal (g1, e1, d1) (g2, e2, d2) =
+    g1 = g2 && e1 = e2 && Descriptor.equal d1 d2
+
+  let hash (g, e, d) = ((((g * 31) + e) * 31) + Descriptor.hash d) land max_int
+end
+
+module Wtbl = Hashtbl.Make (Wkey)
+
+type wstripe = { w_mutex : Mutex.t; w_tbl : winner Wtbl.t }
+
+let stripe_count = 16 (* power of two: the stripe index is a bit mask *)
+
 type t = {
   parents : (gid, gid) Hashtbl.t;
   groups : (gid, group) Hashtbl.t;  (** canonical gid -> group *)
   mutable next_gid : int;
   mutable next_lexpr : int;
   index : (int * gid) Ktbl.t;  (** dedup: key -> (lexpr id, group) *)
+  uses : (gid, (lexpr * gid) list) Hashtbl.t;
+      (** canonical-at-registration input gid -> (user lexpr, its owner
+          group at registration): the members whose input slots must be
+          rewritten when that group dies in a merge *)
+  dead_lexprs : (int, unit) Hashtbl.t;
+      (** ids of members dropped as duplicates; their stale [uses] entries
+          are skipped lazily *)
   tried : (int, unit) Hashtbl.t;
       (** (lexpr id, trans-rule id) packed into one int — see [tried_key] *)
+  wstripes : wstripe array;
   stats : Stats.t;
   trace : Trace.t option;
   spans : Span.t option;
@@ -87,7 +131,12 @@ let create ?(stats = Stats.create ()) ?trace ?spans () =
     next_gid = 0;
     next_lexpr = 0;
     index = Ktbl.create 256;
+    uses = Hashtbl.create 256;
+    dead_lexprs = Hashtbl.create 64;
     tried = Hashtbl.create 256;
+    wstripes =
+      Array.init stripe_count (fun _ ->
+          { w_mutex = Mutex.create (); w_tbl = Wtbl.create 32 });
     stats;
     trace;
     spans;
@@ -108,6 +157,14 @@ let rec canonical t g =
     if root <> p then Hashtbl.replace t.parents g root;
     root
 
+(* No path compression: safe for concurrent readers while the memo is
+   frozen (the speculative match phase), where [canonical]'s compression
+   writes would race. *)
+let rec canonical_ro t g =
+  match Hashtbl.find_opt t.parents g with
+  | None -> g
+  | Some p -> canonical_ro t p
+
 let group t g = Hashtbl.find t.groups (canonical t g)
 let group_desc t g = (group t g).desc
 let lexprs t g = (group t g).members
@@ -123,6 +180,23 @@ let is_explored t g = (group t g).explored
 let set_explored t g v = (group t g).explored <- v
 let is_exploring t g = (group t g).exploring
 let set_exploring t g v = (group t g).exploring <- v
+let group_version t g = (group t g).version
+
+(* Frozen-memo accessors for the speculative match phase: [g] must already
+   be canonical (via [canonical_ro]); no writes, not even path
+   compression. *)
+let lexprs_ro t g = (Hashtbl.find t.groups g).members
+let group_desc_ro t g = (Hashtbl.find t.groups g).desc
+let group_version_ro t g = (Hashtbl.find t.groups g).version
+
+let matchable_ro t g =
+  let grp = Hashtbl.find t.groups g in
+  grp.explored || grp.exploring
+
+let matchable t g =
+  let grp = group t g in
+  grp.explored || grp.exploring
+
 (* Rule ids are positions in the rule set's transformation list, so they fit
    comfortably in 20 bits; packing avoids allocating a tuple key on every
    "already tried?" probe in the explore loop. *)
@@ -131,21 +205,37 @@ let rule_tried t (le : lexpr) rule = Hashtbl.mem t.tried (tried_key le rule)
 let mark_rule_tried t (le : lexpr) rule =
   Hashtbl.replace t.tried (tried_key le rule) ()
 
+let stripe t g = t.wstripes.(g land (stripe_count - 1))
+
 let find_winner t g req =
-  let grp = group t g in
+  let g = canonical t g in
+  let grp = Hashtbl.find t.groups g in
   t.stats.Stats.winner_probes <- t.stats.Stats.winner_probes + 1;
-  match Descriptor.Tbl.find_opt grp.winners req with
-  | Some _ as w ->
-    t.stats.Stats.winner_hits <- t.stats.Stats.winner_hits + 1;
-    w
-  | None -> None
+  let s = stripe t g in
+  Mutex.lock s.w_mutex;
+  let r = Wtbl.find_opt s.w_tbl (g, grp.w_epoch, req) in
+  Mutex.unlock s.w_mutex;
+  (match r with
+  | Some _ -> t.stats.Stats.winner_hits <- t.stats.Stats.winner_hits + 1
+  | None -> ());
+  r
 
 let set_winner t g req w =
-  let grp = group t g in
-  Descriptor.Tbl.replace grp.winners req w
+  let g = canonical t g in
+  let grp = Hashtbl.find t.groups g in
+  let s = stripe t g in
+  Mutex.lock s.w_mutex;
+  Wtbl.replace s.w_tbl (g, grp.w_epoch, req) w;
+  Mutex.unlock s.w_mutex
 
 let clear_winners t =
-  Hashtbl.iter (fun _ g -> Descriptor.Tbl.reset g.winners) t.groups
+  Hashtbl.iter (fun _ g -> g.w_epoch <- g.w_epoch + 1) t.groups;
+  Array.iter
+    (fun s ->
+      Mutex.lock s.w_mutex;
+      Wtbl.reset s.w_tbl;
+      Mutex.unlock s.w_mutex)
+    t.wstripes
 
 let fresh_group t desc =
   let g =
@@ -155,7 +245,8 @@ let fresh_group t desc =
       desc;
       explored = false;
       exploring = false;
-      winners = Descriptor.Tbl.create 8;
+      version = 0;
+      w_epoch = 0;
     }
   in
   t.next_gid <- t.next_gid + 1;
@@ -164,79 +255,115 @@ let fresh_group t desc =
   emit t (fun () -> Trace.Group_created { gid = g.g_id });
   g
 
-(* Merge two groups proven equal; the smaller id survives.  Members whose
-   inputs referenced the dead group are canonicalized lazily by
-   [normalize]. *)
-let rec merge t a b =
-  let a = canonical t a and b = canonical t b in
-  if a = b then a
-  else begin
-    let survivor, dead = if a < b then (a, b) else (b, a) in
+(* Post-merge repair worklist (FIFO): merges to perform plus members whose
+   index entry must be revisited once a queued merge lands. *)
+type repair =
+  | R_merge of gid * gid
+  | R_reindex of lexpr * gid  (** member, owner group (any alias) *)
+
+(* Re-canonicalize one member's input slots in place and refresh its dedup
+   index entry.  The old entry is removed *before* the array is mutated —
+   the index shares the member's input array as its key, so mutating first
+   would leave the binding in a stale bucket.  A collision with a member
+   of the same canonical group drops the younger duplicate (the batch
+   normalizer kept the oldest occurrence); a collision across groups
+   enqueues the merge it proves, plus a re-check of this member for the
+   dedup that becomes possible once the merge lands. *)
+let reindex t q (le : lexpr) owner =
+  let k_old = (le.node, le.arg, le.inputs) in
+  (match Ktbl.find_opt t.index k_old with
+  | Some (id, _) when id = le.id -> Ktbl.remove t.index k_old
+  | Some _ | None -> ());
+  let n = Array.length le.inputs in
+  for i = 0 to n - 1 do
+    let g = le.inputs.(i) in
+    let c = canonical t g in
+    if c <> g then le.inputs.(i) <- c
+  done;
+  let owner = canonical t owner in
+  let k = (le.node, le.arg, le.inputs) in
+  match Ktbl.find_opt t.index k with
+  | None -> Ktbl.replace t.index k (le.id, owner)
+  | Some (oid, _) when oid = le.id -> Ktbl.replace t.index k (le.id, owner)
+  | Some (oid, ogid) ->
+    let og = canonical t ogid in
+    if og <> owner then begin
+      Queue.add (R_merge (owner, og)) q;
+      Queue.add (R_reindex (le, owner)) q
+    end
+    else begin
+      let keep, drop = if oid < le.id then (oid, le.id) else (le.id, oid) in
+      Hashtbl.replace t.dead_lexprs drop ();
+      let grp = Hashtbl.find t.groups owner in
+      grp.members <- List.filter (fun (m : lexpr) -> m.id <> drop) grp.members;
+      grp.version <- grp.version + 1;
+      Ktbl.replace t.index k (keep, owner)
+    end
+
+let merge_one t q x y =
+  let x = canonical t x in
+  let y = canonical t y in
+  if x <> y then begin
+    let survivor, dead = if x < y then (x, y) else (y, x) in
     let gs = Hashtbl.find t.groups survivor in
     let gd = Hashtbl.find t.groups dead in
+    let dead_members = gd.members in
     Hashtbl.remove t.groups dead;
     Hashtbl.replace t.parents dead survivor;
     (* newest-first concatenation: the dead group's members are "newer" than
        the survivor's, matching the pre-merge [lexprs] order. *)
-    gs.members <- gd.members @ gs.members;
+    gs.members <- dead_members @ gs.members;
     gs.explored <- false;
     gs.exploring <- gs.exploring || gd.exploring;
-    Descriptor.Tbl.reset gs.winners;
+    gs.version <- gs.version + 1;
+    gs.w_epoch <- gs.w_epoch + 1;
     t.stats.Stats.groups_merged <- t.stats.Stats.groups_merged + 1;
     emit t (fun () -> Trace.Groups_merged { survivor; dead });
-    normalize t;
-    canonical t survivor
+    (* Rewrite the input slots of everything that referenced the dead
+       group; their registrations move to the survivor. *)
+    (match Hashtbl.find_opt t.uses dead with
+    | None -> ()
+    | Some users ->
+      Hashtbl.remove t.uses dead;
+      let surv_users =
+        Option.value (Hashtbl.find_opt t.uses survivor) ~default:[]
+      in
+      Hashtbl.replace t.uses survivor (List.rev_append users surv_users);
+      List.iter
+        (fun (le, owner) ->
+          if not (Hashtbl.mem t.dead_lexprs le.id) then reindex t q le owner)
+        users);
+    (* The dead group's own members may now duplicate survivors (and their
+       index entries carry a stale owner either way). *)
+    List.iter
+      (fun (le : lexpr) ->
+        if not (Hashtbl.mem t.dead_lexprs le.id) then reindex t q le survivor)
+      dead_members
   end
 
-(* After a merge, re-canonicalize every member's inputs and rebuild the
-   dedup index; newly-revealed duplicates cascade into further merges.
-   Dedup keeps the oldest occurrence and the index records members
-   oldest-first, so the surviving ids match the pre-merge state. *)
-and normalize t =
-  Ktbl.clear t.index;
-  let pending = ref None in
-  (* Most members are untouched by a merge; re-allocate the record (and its
-     input array) only when canonicalization actually changes a gid. *)
-  let canon_member le =
-    let inputs = le.inputs in
-    let n = Array.length inputs in
-    let i = ref 0 in
-    while !i < n && canonical t inputs.(!i) = inputs.(!i) do
-      incr i
+(* Merge two groups proven equal; the smaller id survives.  Repair is
+   incremental: only the recorded users of the dead group have their input
+   slots rewritten, and only the dead group's members are re-checked
+   against the dedup index — the old implementation re-canonicalized every
+   member of every group and rebuilt the whole index per merge, which
+   dominated large searches (84% of fig13 wall time under the span
+   profiler).  Newly revealed duplicates cascade through the FIFO until
+   the index is congruence-closed. *)
+let merge t a b =
+  let a = canonical t a in
+  let b = canonical t b in
+  if a = b then a
+  else begin
+    let q = Queue.create () in
+    Queue.add (R_merge (a, b)) q;
+    while not (Queue.is_empty q) do
+      match Queue.pop q with
+      | R_merge (x, y) -> merge_one t q x y
+      | R_reindex (le, owner) ->
+        if not (Hashtbl.mem t.dead_lexprs le.id) then reindex t q le owner
     done;
-    if !i = n then le
-    else { le with inputs = Array.map (canonical t) inputs }
-  in
-  Hashtbl.iter
-    (fun gid g ->
-      let oldest_first = List.rev_map canon_member g.members in
-      (* drop duplicates within the group *)
-      let seen = Ktbl.create 8 in
-      let oldest_first =
-        List.filter
-          (fun le ->
-            let k = (le.node, le.arg, le.inputs) in
-            if Ktbl.mem seen k then false
-            else begin
-              Ktbl.replace seen k ();
-              true
-            end)
-          oldest_first
-      in
-      g.members <- List.rev oldest_first;
-      List.iter
-        (fun le ->
-          let k = (le.node, le.arg, le.inputs) in
-          match Ktbl.find_opt t.index k with
-          | None -> Ktbl.replace t.index k (le.id, gid)
-          | Some (_, gid') when gid' <> gid ->
-            if !pending = None then pending := Some (gid, gid')
-          | Some _ -> ())
-        oldest_first)
-    t.groups;
-  match !pending with
-  | Some (x, y) -> ignore (merge t x y)
-  | None -> ()
+    canonical t a
+  end
 
 (* Insert a logical expression, deduplicating globally.  Returns the group
    it lives in and whether it is new. *)
@@ -265,7 +392,22 @@ let insert_lexpr t ?into node arg inputs =
     t.next_lexpr <- t.next_lexpr + 1;
     grp.members <- le :: grp.members;
     grp.explored <- false;
+    grp.version <- grp.version + 1;
     Ktbl.replace t.index key (le.id, grp.g_id);
+    (* Register this member under each distinct input group so a merge
+       killing that group knows to rewrite the slot. *)
+    let n = Array.length inputs in
+    for i = 0 to n - 1 do
+      let gi = inputs.(i) in
+      let dup = ref false in
+      for j = 0 to i - 1 do
+        if inputs.(j) = gi then dup := true
+      done;
+      if not !dup then
+        Hashtbl.replace t.uses gi
+          ((le, grp.g_id)
+          :: Option.value (Hashtbl.find_opt t.uses gi) ~default:[])
+    done;
     t.stats.Stats.lexprs_created <- t.stats.Stats.lexprs_created + 1;
     (canonical t grp.g_id, true)
 

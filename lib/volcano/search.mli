@@ -26,6 +26,7 @@ val create :
   ?pruning:bool ->
   ?group_budget:int ->
   ?exploration:exploration ->
+  ?jobs:int ->
   ?trace:Prairie_obs.Trace.t ->
   ?spans:Prairie_obs.Span.t ->
   Rule.ruleset ->
@@ -33,6 +34,16 @@ val create :
 (** A fresh search context with an empty memo.  [pruning] (default [true])
     enables branch-and-bound cost limits; disabling it is the
     [ablation-bounding] experiment.
+
+    [jobs] (default: [PRAIRIE_SEARCH_JOBS] from the environment, else 1)
+    runs each exploration round's rule matching speculatively across that
+    many OCaml domains.  The memo is frozen during the parallel match
+    phase and every task is committed sequentially in the sequential
+    engine's order, with per-task read-set revalidation — so memos, costs
+    and chosen plans are byte-identical to [jobs = 1] at any job count
+    (property-tested in the equivalence harness).  Worker domains are
+    spawned when a top-level [optimize]/[optimize_group]/[explore_group]
+    call begins and joined when it returns.
 
     [trace] attaches a structured event sink recording the whole search:
     group creation/merges, rule matches, applications and rejections with
@@ -62,6 +73,9 @@ val budget_was_hit : t -> bool
 val ruleset : t -> Rule.ruleset
 val memo : t -> Memo.t
 val stats : t -> Stats.t
+
+val jobs : t -> int
+(** The domain count exploration matching runs at (1 = sequential). *)
 
 val spans : t -> Prairie_obs.Span.t option
 (** The span sink passed to {!create}, if any. *)

@@ -1,0 +1,115 @@
+(* A tiny bulk-synchronous worker team for the parallel explorer.
+
+   [run t f n] executes [f i] for every [i] in [0, n) across the spawned
+   domains plus the calling thread, returning only when every index has
+   completed — a full barrier.  Indices are claimed one at a time through
+   an atomic counter, so load balances even when task costs are skewed.
+
+   The orchestrating thread owns the team: [run] calls never overlap (the
+   explorer's commit phase runs strictly between batches), which is what
+   makes the single shared batch slot sound.  Workers park on a condition
+   variable between batches instead of spinning — on machines with fewer
+   cores than domains, spinning would starve the orchestrator. *)
+
+type t = {
+  size : int;
+  m : Mutex.t;
+  work : Condition.t;  (** new generation posted, or shutdown *)
+  finished : Condition.t;  (** [busy] reached zero *)
+  mutable batch : (int -> unit) option;
+  mutable n : int;
+  next : int Atomic.t;
+  mutable busy : int;  (** spawned workers still inside the current batch *)
+  mutable generation : int;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Task functions are speculative by contract: an exception here means the
+   speculation is discarded and the orchestrator replays the task inline,
+   where a real error re-raises deterministically.  Letting it escape the
+   worker instead would skip the [busy] decrement and deadlock the
+   barrier. *)
+let claim_all t f n =
+  let rec go () =
+    let i = Atomic.fetch_and_add t.next 1 in
+    if i < n then begin
+      (try f i with _ -> ());
+      go ()
+    end
+  in
+  go ()
+
+let worker t () =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.m;
+    while (not t.stop) && t.generation = !seen do
+      Condition.wait t.work t.m
+    done;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      running := false
+    end
+    else begin
+      seen := t.generation;
+      let f = Option.get t.batch in
+      let n = t.n in
+      Mutex.unlock t.m;
+      claim_all t f n;
+      Mutex.lock t.m;
+      t.busy <- t.busy - 1;
+      if t.busy = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.m
+    end
+  done
+
+let create ~jobs =
+  let size = max 1 jobs in
+  let t =
+    {
+      size;
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      n = 0;
+      next = Atomic.make 0;
+      busy = 0;
+      generation = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let size t = t.size
+
+let run t f n =
+  if n > 0 then begin
+    Mutex.lock t.m;
+    t.batch <- Some f;
+    t.n <- n;
+    Atomic.set t.next 0;
+    t.busy <- t.size - 1;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    claim_all t f n;
+    Mutex.lock t.m;
+    while t.busy > 0 do
+      Condition.wait t.finished t.m
+    done;
+    t.batch <- None;
+    Mutex.unlock t.m
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.domains;
+  t.domains <- []

@@ -1,0 +1,25 @@
+(** Bulk-synchronous worker team for the parallel explorer.
+
+    A fixed set of domains (spawned once, parked on a condition variable
+    between batches) plus the calling thread execute batches of indexed
+    tasks to a full barrier.  One orchestrating thread owns the team;
+    {!run} calls must never overlap. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn [jobs - 1] worker domains (the caller is the [jobs]-th worker).
+    [jobs] is clamped to at least 1; a team of size 1 spawns nothing and
+    {!run} degenerates to a sequential loop. *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> int -> unit
+(** [run t f n] executes [f i] for each [i] in [0, n), claiming indices
+    through a shared atomic counter, and returns once all have completed.
+    [f] must treat its work as speculative: exceptions are swallowed
+    (the task is simply left unfinished for the caller to replay
+    inline). *)
+
+val shutdown : t -> unit
+(** Stop and join all worker domains.  The team must not be used after. *)

@@ -167,9 +167,50 @@ let property_tests =
           | Ok () -> false));
   ]
 
+(* Cross-domain soundness: the interning pool lives in [Domain.DLS], so a
+   descriptor built in another domain is a distinct record whose pool id
+   may even collide with a local one — equality, hashing, ordering and
+   shared tables must all fall back to structure. *)
+let cross_domain_tests =
+  let bindings =
+    [ ("attrs", V.Attrs [ a ]); ("n", V.Int 7); ("tag", V.Str "x") ]
+  in
+  [
+    Alcotest.test_case "two domains intern equal but distinct records" `Quick
+      (fun () ->
+        let here = D.of_list bindings in
+        let there = Domain.join (Domain.spawn (fun () -> D.of_list bindings)) in
+        check "distinct records" true (not (here == there));
+        check "equal" true (D.equal here there);
+        check_int "same hash" (D.hash here) (D.hash there);
+        check_int "compare 0" 0 (D.compare here there);
+        Alcotest.(check string)
+          "same fingerprint" (D.fingerprint here) (D.fingerprint there));
+    Alcotest.test_case "shared Tbl round-trips across domains" `Quick
+      (fun () ->
+        let here = D.of_list bindings in
+        let tbl = D.Tbl.create 8 in
+        D.Tbl.replace tbl here "planned";
+        (* probe interned by a different domain's pool *)
+        let there = Domain.join (Domain.spawn (fun () -> D.of_list bindings)) in
+        check "found by structural key" true
+          (D.Tbl.find_opt tbl there = Some "planned");
+        (* reverse direction: insert under the foreign record, probe with
+           the local one *)
+        let tbl2 = D.Tbl.create 8 in
+        D.Tbl.replace tbl2 there "cached";
+        check "reverse lookup" true (D.Tbl.find_opt tbl2 here = Some "cached");
+        (* derived descriptors built from the foreign record re-intern
+           locally and stay interchangeable *)
+        let d1 = D.set here "extra" (V.Int 1) in
+        let d2 = D.set there "extra" (V.Int 1) in
+        check "derived equal" true (D.equal d1 d2));
+  ]
+
 let suites =
   [
     ("descriptor.basic", basic_tests);
+    ("descriptor.domains", cross_domain_tests);
     ("descriptor.properties", property_based);
     ("descriptor.interning", interning_based);
     ("descriptor.schema", property_tests);

@@ -195,6 +195,35 @@ let pool_tests =
                   (List.init 64 Fun.id));
              false
            with Failure _ -> true));
+    Alcotest.test_case "an on_item raise stops the run and leaks no domain"
+      `Quick (fun () ->
+        (* [on_item] is caller code (telemetry hooks): if it raises, the
+           exception must surface from [map] itself, and — because the
+           joins are unconditional — no spawned domain may keep consuming
+           items in the background afterwards *)
+        let consumed = Atomic.make 0 in
+        let raised =
+          try
+            ignore
+              (Pool.map ~jobs:4
+                 ~on_item:(fun ~worker ->
+                   if worker = 0 then failwith "hook boom")
+                 (fun i ->
+                   Unix.sleepf 0.01;
+                   Atomic.incr consumed;
+                   i)
+                 (List.init 32 Fun.id));
+            false
+          with Failure _ -> true
+        in
+        check "hook exception surfaced" true raised;
+        (* all domains are joined when [map] returns, so the count is
+           final: any background consumption would show up here *)
+        let settled = Atomic.get consumed in
+        Unix.sleepf 0.2;
+        Alcotest.(check int)
+          "no work after return" settled (Atomic.get consumed);
+        check "run stopped early" true (settled < 32));
   ]
 
 (* ------------------------------------------------------------------ *)

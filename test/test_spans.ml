@@ -475,6 +475,95 @@ let test_telemetry_405 () =
       let resp = http_get (Telemetry.port server) "/metrics" in
       check "no registry still 200" true (contains resp "HTTP/1.0 200 OK"))
 
+(* ------------------------------------------------------------------ *)
+(* Concurrent emitters                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Several domains hammer one shared sink; the sink mutex must keep the
+   sequence counter, the ring, the id allocator and the aggregate table
+   exact — any lost update shows up as a count mismatch or a duplicate
+   id in the retained window. *)
+let test_span_concurrent_emitters () =
+  let sink = Span.create ~capacity:256 () in
+  let domains = 4 and per_domain = 200 in
+  let emit () =
+    for _ = 1 to per_domain do
+      let root = Span.enter sink Span.Optimize in
+      let child = Span.enter sink ~rule:"join-assoc" ~parent:root Span.Match in
+      Span.exit sink child;
+      Span.exit sink root
+    done
+  in
+  let ds = List.init (domains - 1) (fun _ -> Domain.spawn emit) in
+  emit ();
+  List.iter Domain.join ds;
+  let total = domains * per_domain * 2 in
+  checki "seq" total (Span.seq sink);
+  checki "length" 256 (Span.length sink);
+  checki "dropped" (total - 256) (Span.dropped sink);
+  checki "root count" (domains * per_domain) (Span.root_count sink);
+  let rs = Span.records sink in
+  checki "records" 256 (List.length rs);
+  let ids = List.sort_uniq Int.compare (List.map (fun r -> r.Span.id) rs) in
+  checki "distinct ids" 256 (List.length ids);
+  check "durations non-negative" true
+    (List.for_all (fun r -> Int64.compare r.Span.dur_ns 0L >= 0) rs);
+  (* the aggregate table is exact even though the ring dropped *)
+  let aggs = Span.profile sink in
+  let count = List.fold_left (fun acc a -> acc + a.Span.a_count) 0 aggs in
+  checki "agg count" total count;
+  let match_agg = List.find (fun a -> a.Span.a_phase = Span.Match) aggs in
+  checki "match count" (domains * per_domain) match_agg.Span.a_count;
+  check "chrome export well-formed" true
+    (json_well_formed (Span.to_chrome sink))
+
+let test_trace_concurrent_emitters () =
+  let sink = Trace.create ~capacity:128 () in
+  let domains = 4 and per_domain = 500 in
+  let emit () =
+    for i = 1 to per_domain do
+      Trace.emit sink (Trace.Memo_hit { gid = i })
+    done
+  in
+  let ds = List.init (domains - 1) (fun _ -> Domain.spawn emit) in
+  emit ();
+  List.iter Domain.join ds;
+  let total = domains * per_domain in
+  checki "seq" total (Trace.seq sink);
+  checki "length" 128 (Trace.length sink);
+  checki "dropped" (total - 128) (Trace.dropped sink);
+  let evs = Trace.events sink in
+  checki "events" 128 (List.length evs);
+  List.iteri (fun i (s, _) -> checki "contiguous seq" (total - 128 + i) s) evs;
+  check "jsonl well-formed" true
+    (String.split_on_char '\n' (Trace.to_jsonl sink)
+    |> List.for_all (fun line -> line = "" || json_well_formed line))
+
+(* A client that connects and never sends a byte must not wedge the
+   sequential accept loop: the per-client deadline drops it and the next
+   connection (a real health check) is served. *)
+let test_telemetry_hung_client () =
+  let server = Telemetry.start ~client_timeout:0.3 ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Telemetry.stop server)
+    (fun () ->
+      let hung = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close hung with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect hung
+            (Unix.ADDR_INET
+               (Unix.inet_addr_of_string "127.0.0.1", Telemetry.port server));
+          (* give accept a moment to pick the hung connection up first *)
+          Unix.sleepf 0.05;
+          let t0 = Unix.gettimeofday () in
+          let resp = http_get (Telemetry.port server) "/healthz" in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          check "healthz still answers" true (contains resp "ok");
+          (* bounded by the hung client's deadline plus slack, far below
+             the old unbounded (or 5 s per-read) wait *)
+          check "answered within the deadline budget" true (elapsed < 2.0)))
+
 let suites =
   [
     ( "spans.sink",
@@ -485,6 +574,13 @@ let suites =
         prop_span_well_formed;
         Alcotest.test_case "disabled path is one Option check" `Quick
           test_disabled_path_is_cheap;
+      ] );
+    ( "spans.concurrency",
+      [
+        Alcotest.test_case "span sink survives concurrent emitters" `Quick
+          test_span_concurrent_emitters;
+        Alcotest.test_case "trace sink survives concurrent emitters" `Quick
+          test_trace_concurrent_emitters;
       ] );
     ( "spans.engine",
       [
@@ -520,5 +616,7 @@ let suites =
         Alcotest.test_case "endpoint round trip" `Quick test_telemetry_endpoint;
         Alcotest.test_case "405 and registry-less metrics" `Quick
           test_telemetry_405;
+        Alcotest.test_case "hung client cannot block /healthz" `Quick
+          test_telemetry_hung_client;
       ] );
   ]
