@@ -3,6 +3,8 @@
    Subcommands:
      check    parse and validate a .prairie file
      lint     static analysis: structured diagnostics with stable codes
+     analyze  whole-rule-set dataflow analysis: reachability, constant
+              tests, property flow, subsumption/overlap (P3xx)
      verify   semantic verification: randomized counterexample search (P2xx)
      report   run the P2V pre-processor and print the translation report
      render   export an embedded rule set as .prairie source
@@ -178,6 +180,122 @@ let lint_cmd =
           stable diagnostic codes (P001...). Exits 1 on errors, 2 when \
           $(b,--max-warnings) is exceeded.")
     Term.(ret (const run $ files_arg $ format_arg $ max_warnings_arg))
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let module Analysis = Prairie_analysis.Analysis in
+  let module Diag = Prairie.Diagnostic in
+  let files_arg =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Rule-specification files (.prairie).")
+  in
+  let roots_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "roots" ] ~docv:"OP"
+          ~doc:
+            "Workload root operator for the reachability closure \
+             (repeatable).  Default: every declared non-enforcer operator.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let max_warnings_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-warnings" ] ~docv:"N"
+          ~doc:"Fail (exit 2) when more than $(docv) warnings are found.")
+  in
+  let run files roots format max_warnings =
+    let config = { Analysis.roots } in
+    let results =
+      List.map (fun path -> (path, Analysis.analyze_file ~config path)) files
+    in
+    let total_errors =
+      List.fold_left
+        (fun n (_, (r : Analysis.report)) ->
+          n + (fun (e, _, _) -> e) (Analysis.summary r.Analysis.diagnostics))
+        0 results
+    in
+    let total_warnings =
+      List.fold_left
+        (fun n (_, (r : Analysis.report)) ->
+          n + (fun (_, w, _) -> w) (Analysis.summary r.Analysis.diagnostics))
+        0 results
+    in
+    (match format with
+    | `Text ->
+      List.iter
+        (fun (path, (r : Analysis.report)) ->
+          (match r.Analysis.diagnostics with
+          | [] -> Printf.printf "%s: clean\n" path
+          | ds ->
+            List.iter
+              (fun d -> Printf.printf "%s: %s\n" path (Diag.to_string d))
+              ds);
+          Printf.printf
+            "%s: %d operator(s) reachable, %d dead rule(s), %d unreachable \
+             rule(s)\n"
+            path
+            (List.length r.Analysis.reachable)
+            (List.length r.Analysis.dead_rules)
+            (List.length r.Analysis.unreachable_rules))
+        results;
+      if total_errors > 0 || total_warnings > 0 then
+        Printf.printf "%d error(s), %d warning(s)\n" total_errors
+          total_warnings
+    | `Json ->
+      let strings ss =
+        String.concat ","
+          (List.map (fun s -> Printf.sprintf "\"%s\"" (json_escape s)) ss)
+      in
+      let file_json (path, (r : Analysis.report)) =
+        let e, w, _ = Analysis.summary r.Analysis.diagnostics in
+        Printf.sprintf
+          "{\"file\":\"%s\",\"ruleset\":\"%s\",\"diagnostics\":[%s],\
+           \"errors\":%d,\"warnings\":%d,\"reachable\":[%s],\
+           \"dead_rules\":[%s],\"unreachable_rules\":[%s],\
+           \"required_physical\":[%s],\"produced_physical\":[%s]}"
+          (json_escape path)
+          (json_escape r.Analysis.ruleset)
+          (String.concat "," (List.map Diag.to_json r.Analysis.diagnostics))
+          e w
+          (strings r.Analysis.reachable)
+          (strings r.Analysis.dead_rules)
+          (strings r.Analysis.unreachable_rules)
+          (strings r.Analysis.required_physical)
+          (strings r.Analysis.produced_physical)
+      in
+      Printf.printf
+        "{\"files\":[%s],\"total_errors\":%d,\"total_warnings\":%d}\n"
+        (String.concat "," (List.map file_json results))
+        total_errors total_warnings);
+    if total_errors > 0 then exit 1;
+    (match max_warnings with
+    | Some n when total_warnings > n ->
+      Printf.eprintf "too many warnings: %d (allowed: %d)\n" total_warnings n;
+      exit 2
+    | _ -> ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run whole-rule-set dataflow analysis: operator reachability, \
+          constant-test folding, physical-property flow and pairwise \
+          subsumption/overlap (P3xx codes). Where $(b,lint) checks each \
+          rule locally, $(b,analyze) reasons across the rule set. Exits 1 \
+          on errors, 2 when $(b,--max-warnings) is exceeded.")
+    Term.(ret (const run $ files_arg $ roots_arg $ format_arg $ max_warnings_arg))
 
 (* ---------------- verify ---------------- *)
 
@@ -988,6 +1106,7 @@ let () =
           [
             check_cmd;
             lint_cmd;
+            analyze_cmd;
             verify_cmd;
             report_cmd;
             render_cmd;

@@ -87,6 +87,56 @@ let substitute_desc f = function
   | Assign_desc (d, e) -> Assign_desc (f d, substitute_desc_expr f e)
   | Assign_prop (d, p, e) -> Assign_prop (f d, p, substitute_desc_expr f e)
 
+(* Sound constant folding: [Some v] only when the expression evaluates to
+   [v] under EVERY binding of descriptors and helper functions.  [And]/[Or]
+   short-circuit on a constant absorbing element, so [FALSE && f(D1)] folds
+   even though the call does not.  Arithmetic and comparisons on
+   incompatible constants ([1 + "x"]) would raise at run time, not produce
+   a value — those fold to [None], never to a guess. *)
+let rec fold_const = function
+  | Const v -> Some v
+  | Desc _ | Prop _ | Call _ -> None
+  | Unop (Not, a) -> (
+    match fold_const a with
+    | Some (Value.Bool b) -> Some (Value.Bool (not b))
+    | _ -> None)
+  | Unop (Neg, a) -> (
+    match fold_const a with
+    | Some (Value.Int i) -> Some (Value.Int (-i))
+    | Some (Value.Float f) -> Some (Value.Float (-.f))
+    | _ -> None)
+  | Binop (And, a, b) -> (
+    match (fold_const a, fold_const b) with
+    | Some (Value.Bool false), _ | _, Some (Value.Bool false) ->
+      Some (Value.Bool false)
+    | Some (Value.Bool true), Some (Value.Bool true) -> Some (Value.Bool true)
+    | _ -> None)
+  | Binop (Or, a, b) -> (
+    match (fold_const a, fold_const b) with
+    | Some (Value.Bool true), _ | _, Some (Value.Bool true) ->
+      Some (Value.Bool true)
+    | Some (Value.Bool false), Some (Value.Bool false) ->
+      Some (Value.Bool false)
+    | _ -> None)
+  | Binop (Cmp c, a, b) -> (
+    match (fold_const a, fold_const b) with
+    | Some va, Some vb -> (
+      try Some (Value.Bool (Value.cmp c va vb)) with Value.Type_error _ -> None)
+    | _ -> None)
+  | Binop (((Add | Sub | Mul | Div) as op), a, b) -> (
+    match (fold_const a, fold_const b) with
+    | Some va, Some vb -> (
+      let f =
+        match op with
+        | Add -> Value.add
+        | Sub -> Value.sub
+        | Mul -> Value.mul
+        | Div -> Value.div
+        | _ -> assert false
+      in
+      try Some (f va vb) with Value.Type_error _ | Division_by_zero -> None)
+    | _ -> None)
+
 let binop_to_string = function
   | Add -> "+"
   | Sub -> "-"

@@ -62,6 +62,15 @@ val stmt_read_descriptors : stmt -> string list
 val helpers_used : stmt list -> string list
 (** Helper-function names called anywhere in the statements. *)
 
+val fold_const : expr -> Prairie_value.Value.t option
+(** Sound constant folding: [Some v] iff the expression evaluates to [v]
+    under every binding of descriptors and helper functions.  [And]/[Or]
+    short-circuit on a constant absorbing element; comparisons and
+    arithmetic fold only when both sides are compatible constants (an
+    expression that would raise {!Prairie_value.Value.Type_error} at run
+    time yields [None], never a guess).  Used by the whole-rule-set
+    analyzer (P301/P302) and by [Translate] to drop provably dead rules. *)
+
 val substitute_desc : (string -> string) -> stmt -> stmt
 (** Rename descriptor variables (used by rule merging). *)
 

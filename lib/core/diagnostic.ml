@@ -15,10 +15,11 @@ type t = {
   span : span option;
   message : string;
   hint : string option;
+  related : (string * span) list;
 }
 
-let make ?(severity = Error) ?rule ?span ?hint ~code message =
-  { code; severity; rule; span; message; hint }
+let make ?(severity = Error) ?rule ?span ?hint ?(related = []) ~code message =
+  { code; severity; rule; span; message; hint; related }
 
 let error = make ~severity:Error
 let warning = make ~severity:Warning
@@ -58,7 +59,16 @@ let compare a b =
         if c <> 0 then c
         else
           let c = String.compare a.message b.message in
-          if c <> 0 then c else Option.compare String.compare a.hint b.hint
+          if c <> 0 then c
+          else
+            let c = Option.compare String.compare a.hint b.hint in
+            if c <> 0 then c
+            else
+              List.compare
+                (fun (ra, sa) (rb, sb) ->
+                  let c = String.compare ra rb in
+                  if c <> 0 then c else compare_span (Some sa) (Some sb))
+                a.related b.related
 
 let normalize ds = List.sort_uniq compare ds
 let errors ds = List.filter is_error ds
@@ -99,6 +109,11 @@ let to_string d =
   (match d.hint with
   | Some h -> Buffer.add_string b ("\n  hint: " ^ h)
   | None -> ());
+  List.iter
+    (fun (r, s) ->
+      Buffer.add_string b
+        (Printf.sprintf "\n  related: %s at %d:%d" r s.line s.column))
+    d.related;
   Buffer.contents b
 
 let pp ppf d = Format.pp_print_string ppf (to_string d)
@@ -134,6 +149,17 @@ let to_json d =
         d.span;
       Some (Printf.sprintf "\"message\":%s" (json_string d.message));
       Option.map (fun h -> Printf.sprintf "\"hint\":%s" (json_string h)) d.hint;
+      (match d.related with
+      | [] -> None
+      | rs ->
+        Some
+          (Printf.sprintf "\"related\":[%s]"
+             (String.concat ","
+                (List.map
+                   (fun (r, s) ->
+                     Printf.sprintf "{\"rule\":%s,\"line\":%d,\"column\":%d}"
+                       (json_string r) s.line s.column)
+                   rs))));
     ]
   in
   "{" ^ String.concat "," (List.filter_map Fun.id fields) ^ "}"

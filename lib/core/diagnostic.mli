@@ -24,6 +24,9 @@ type t = {
   span : span option;  (** source position, when known *)
   message : string;
   hint : string option;  (** optional suggestion for fixing the finding *)
+  related : (string * span) list;
+      (** other rules the finding involves — e.g. the subsuming rule of a
+          P320 pair — each with its source position *)
 }
 
 val make :
@@ -31,13 +34,37 @@ val make :
   ?rule:string ->
   ?span:span ->
   ?hint:string ->
+  ?related:(string * span) list ->
   code:string ->
   string ->
   t
 
-val error : ?rule:string -> ?span:span -> ?hint:string -> code:string -> string -> t
-val warning : ?rule:string -> ?span:span -> ?hint:string -> code:string -> string -> t
-val info : ?rule:string -> ?span:span -> ?hint:string -> code:string -> string -> t
+val error :
+  ?rule:string ->
+  ?span:span ->
+  ?hint:string ->
+  ?related:(string * span) list ->
+  code:string ->
+  string ->
+  t
+
+val warning :
+  ?rule:string ->
+  ?span:span ->
+  ?hint:string ->
+  ?related:(string * span) list ->
+  code:string ->
+  string ->
+  t
+
+val info :
+  ?rule:string ->
+  ?span:span ->
+  ?hint:string ->
+  ?related:(string * span) list ->
+  code:string ->
+  string ->
+  t
 
 val is_error : t -> bool
 val is_warning : t -> bool
@@ -73,4 +100,4 @@ val pp : Format.formatter -> t -> unit
 
 val to_json : t -> string
 (** One JSON object; fields [code], [severity], [message] always present,
-    [rule], [line]/[column], [hint] when known. *)
+    [rule], [line]/[column], [hint], [related] when known. *)

@@ -63,3 +63,32 @@ val apply_pragmas : (string * int) list -> Prairie.Diagnostic.t list -> Prairie.
 
 val summary : Prairie.Diagnostic.t list -> int * int * int
 (** [(errors, warnings, infos)] counts. *)
+
+(** {1 Shared spec utilities}
+
+    Exposed for {!Prairie_analysis}, which analyzes the same parsed specs
+    and must agree with the linter on elaboration, source positions and
+    shape strings (the P008 / P320 split depends on both sides computing
+    identical shapes). *)
+
+val ruleset_of_spec : Prairie_dsl.Ast.spec -> Prairie.Ruleset.t
+(** Best-effort elaboration of a parsed spec into a core rule set:
+    well-formed rules only, unknown property types dropped.  Unlike
+    {!Prairie_dsl.Elaborate.elaborate} it never raises — checkers run it
+    on specs that still carry errors. *)
+
+val rule_loc : Prairie_dsl.Ast.spec -> string -> Prairie.Diagnostic.span option
+(** Source span of the named rule, when the spec records one. *)
+
+val span_of : Prairie_dsl.Ast.loc -> Prairie.Diagnostic.span option
+
+val pat_shape : Prairie.Pattern.t -> string
+(** Operator shape of a pattern with stream variables erased to ["_"] —
+    the node label of the termination digraph and the P008 equality key. *)
+
+val tmpl_shape : Prairie.Pattern.tmpl -> string
+(** Template shape; re-descriptored stream variables render as ["_!"]
+    (they push a requirement, a different rewrite than a pass-through). *)
+
+val is_tt : Prairie.Action.expr -> bool
+(** Is the expression the literal [TRUE] test (an unguarded rule)? *)

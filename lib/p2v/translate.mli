@@ -22,6 +22,11 @@ type t = {
   merge : Merge.result;
   classification : Classify.classification;
   volcano : Prairie_volcano.Rule.ruleset;
+  dead_trans : string list;
+      (** T-rules whose test constant-folds to [FALSE], dropped before
+          code generation (flagged P301 by {!Prairie_analysis}); the
+          Volcano rule set never sees them, so indexed and un-indexed
+          search agree exactly *)
 }
 
 val translate : ?compose:bool -> ?mode:mode -> Prairie.Ruleset.t -> t

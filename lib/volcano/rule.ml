@@ -57,6 +57,12 @@ type ruleset = {
       (** [rs_physical] as a set, built once at construction *)
   rs_impl_index : (string, impl_rule list) Hashtbl.t;
       (** impl rules grouped by operator, in [rs_impl] order *)
+  rs_match_index : (string, (int * trans_rule) list) Hashtbl.t;
+      (** trans rules by LHS root operator, paired with their [rs_trans]
+          position (the memo's tried-table rule id); wildcard-rooted rules
+          appear in every bucket.  Read through {!trans_rules_for}. *)
+  rs_match_wildcard : (int * trans_rule) list;
+      (** trans rules whose LHS root is a bare stream variable *)
   rs_satisfies : required:Descriptor.t -> actual:Descriptor.t -> bool;
 }
 
@@ -79,6 +85,32 @@ let make_ruleset ?(trans = []) ?(impl = []) ?(enforcers = [])
       let prev = Option.value ~default:[] (Hashtbl.find_opt impl_index r.ir_op) in
       Hashtbl.replace impl_index r.ir_op (r :: prev))
     (List.rev impl);
+  (* The match index pairs each trans rule with its [trans] position — the
+     rule id of the memo's tried table, so indexed and un-indexed search
+     share one id space.  Wildcard-rooted rules go into every bucket (and
+     the wildcard list) so the indexed path sees exactly the rules whose
+     LHS root could match a given node. *)
+  let numbered = List.mapi (fun i tr -> (i, tr)) trans in
+  let wildcard =
+    List.filter
+      (fun (_, tr) -> Prairie.Pattern.root_operator tr.tr_lhs = None)
+      numbered
+  in
+  let match_index = Hashtbl.create 16 in
+  List.iter
+    (fun (_, tr) ->
+      match Prairie.Pattern.root_operator tr.tr_lhs with
+      | None -> ()
+      | Some op ->
+        if not (Hashtbl.mem match_index op) then
+          Hashtbl.add match_index op
+            (List.filter
+               (fun (_, tr') ->
+                 match Prairie.Pattern.root_operator tr'.tr_lhs with
+                 | None -> true
+                 | Some op' -> String.equal op op')
+               numbered))
+    numbered;
   {
     rs_name = name;
     rs_trans = trans;
@@ -87,10 +119,20 @@ let make_ruleset ?(trans = []) ?(impl = []) ?(enforcers = [])
     rs_physical = physical;
     rs_physical_set = Descriptor.String_set.of_list physical;
     rs_impl_index = impl_index;
+    rs_match_index = match_index;
+    rs_match_wildcard = wildcard;
     rs_satisfies = satisfies;
   }
 
 let impl_rules_for rs op =
   Option.value ~default:[] (Hashtbl.find_opt rs.rs_impl_index op)
+
+let trans_rules_for rs op =
+  match op with
+  | None -> rs.rs_match_wildcard
+  | Some op -> (
+    match Hashtbl.find_opt rs.rs_match_index op with
+    | Some rules -> rules
+    | None -> rs.rs_match_wildcard)
 
 let restrict_physical rs d = Descriptor.restrict_set d rs.rs_physical_set

@@ -85,6 +85,16 @@ type ruleset = {
   rs_impl_index : (string, impl_rule list) Hashtbl.t;
       (** impl rules grouped by operator (in [rs_impl] order), built once
           by {!make_ruleset}; {!impl_rules_for} reads it *)
+  rs_match_index : (string, (int * trans_rule) list) Hashtbl.t;
+      (** trans rules grouped by LHS root operator, each paired with its
+          [rs_trans] position — the rule id of the memo's tried table, so
+          indexed and un-indexed search share one id space.  Buckets
+          preserve [rs_trans] order and include wildcard-rooted rules.
+          Built once by {!make_ruleset}; {!trans_rules_for} reads it. *)
+  rs_match_wildcard : (int * trans_rule) list;
+      (** trans rules whose LHS root is a bare stream variable (they match
+          any node — including the stored-file case, where the engine
+          rejects them with the same [Invalid_argument] either way) *)
   rs_satisfies :
     required:Prairie.Descriptor.t -> actual:Prairie.Descriptor.t -> bool;
       (** does an achieved physical-property vector satisfy a required
@@ -109,6 +119,14 @@ val make_ruleset :
 
 val impl_rules_for : ruleset -> string -> impl_rule list
 (** O(1) lookup of the impl rules for an operator, in [rs_impl] order. *)
+
+val trans_rules_for : ruleset -> string option -> (int * trans_rule) list
+(** O(1) lookup of the trans rules whose LHS root could match a node:
+    [Some op] for an operator node (that operator's bucket, or just the
+    wildcard rules when no rule is rooted there), [None] for a stored
+    file (wildcard rules only).  Rules a bucket omits are exactly those
+    whose match would return no bindings — skipping them leaves matches,
+    applications, stats, traces and plans untouched. *)
 
 val restrict_physical : ruleset -> Prairie.Descriptor.t -> Prairie.Descriptor.t
 (** Project a descriptor onto the rule set's physical properties. *)

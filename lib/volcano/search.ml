@@ -16,6 +16,10 @@ type t = {
   trans_rules : (int * Rule.trans_rule) list;
       (** [rs_trans] paired with its small integer rule ids (list position),
           the key space of the memo's [tried] table *)
+  use_match_index : bool;
+      (** consult [rs_match_index] so each lexpr only tries rules whose
+          LHS root can match it; the skipped matches are exactly those
+          that would return no bindings, so results are byte-identical *)
   restrict_cache : Descriptor.t Descriptor.Tbl.t;
       (** memoized [Rule.restrict_physical] — the projection runs once per
           distinct descriptor instead of once per optimize call *)
@@ -43,8 +47,8 @@ let default_jobs () =
     | Some n when n >= 1 -> n
     | Some _ | None -> 1)
 
-let create ?(pruning = true) ?group_budget ?(exploration = `Worklist) ?jobs
-    ?trace ?spans rules =
+let create ?(pruning = true) ?group_budget ?(exploration = `Worklist)
+    ?(match_index = true) ?jobs ?trace ?spans rules =
   let st = Stats.create () in
   let jobs =
     match jobs with Some j -> max 1 j | None -> default_jobs ()
@@ -53,6 +57,7 @@ let create ?(pruning = true) ?group_budget ?(exploration = `Worklist) ?jobs
     memo = Memo.create ~stats:st ?trace ?spans ();
     rules;
     trans_rules = List.mapi (fun i tr -> (i, tr)) rules.Rule.rs_trans;
+    use_match_index = match_index;
     restrict_cache = Descriptor.Tbl.create 64;
     st;
     pruning;
@@ -116,6 +121,18 @@ type menv = {
 }
 
 let empty_menv = { streams = []; descs = [] }
+
+(* The trans rules worth trying against a lexpr.  The match index drops
+   only rules whose root operator differs from the lexpr's — matches that
+   would return no bindings and record nothing — so both settings apply
+   identical rules in identical order; only the tried-table bookkeeping
+   for provably-failing rules is saved. *)
+let candidates ctx (le : Memo.lexpr) =
+  if not ctx.use_match_index then ctx.trans_rules
+  else
+    match le.Memo.node with
+    | Memo.L_op op -> Rule.trans_rules_for ctx.rules (Some op)
+    | Memo.L_file _ -> Rule.trans_rules_for ctx.rules None
 
 let gtree_of_tmpl (tmpl : Pattern.tmpl) streams descs =
   let rec go = function
@@ -316,7 +333,7 @@ and parallel_round ctx team parent g members ~mark ~changed =
             (fun ((tr_id, _) as r) ->
               if Memo.rule_tried ctx.memo le tr_id then None
               else Some { t_le = le; t_rule = r; t_spec = Spec_pending })
-            ctx.trans_rules
+            (candidates ctx le)
         in
         (le, ts))
       members
@@ -346,7 +363,7 @@ and commit_task ctx parent g task ~changed =
   | Spec_envs _ | Spec_pending -> apply_rule ctx parent g le task.t_rule ~changed
 
 and apply_trans_rules ctx parent g le ~changed =
-  List.iter (fun r -> apply_rule ctx parent g le r ~changed) ctx.trans_rules
+  List.iter (fun r -> apply_rule ctx parent g le r ~changed) (candidates ctx le)
 
 and apply_rule ctx parent g le ((tr_id, tr) : int * Rule.trans_rule) ~changed =
   if not (Memo.rule_tried ctx.memo le tr_id) then begin

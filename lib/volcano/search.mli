@@ -26,6 +26,7 @@ val create :
   ?pruning:bool ->
   ?group_budget:int ->
   ?exploration:exploration ->
+  ?match_index:bool ->
   ?jobs:int ->
   ?trace:Prairie_obs.Trace.t ->
   ?spans:Prairie_obs.Span.t ->
@@ -34,6 +35,16 @@ val create :
 (** A fresh search context with an empty memo.  [pruning] (default [true])
     enables branch-and-bound cost limits; disabling it is the
     [ablation-bounding] experiment.
+
+    [match_index] (default [true]) consults the rule set's
+    [rs_match_index] so each lexpr only tries trans rules whose LHS root
+    operator can match it.  The skipped (lexpr, rule) pairs are exactly
+    those whose match would bind nothing — they record no match, no trace
+    event and no memo change either way — so matches, applications,
+    stats, memo shape, costs and plans are byte-identical with the index
+    on or off (property-tested in the equivalence harness); only the
+    per-lexpr rule iteration shrinks.  [match_index:false] is the
+    [ablation] / differential-testing configuration.
 
     [jobs] (default: [PRAIRIE_SEARCH_JOBS] from the environment, else 1)
     runs each exploration round's rule matching speculatively across that

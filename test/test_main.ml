@@ -12,4 +12,5 @@ let () =
    @ Test_star.suites @ Test_distributed.suites @ Test_properties.suites
    @ Test_translate_pieces.suites @ Test_aggregates.suites
    @ Test_service.suites @ Test_stats.suites @ Test_obs.suites
-   @ Test_spans.suites @ Test_lint.suites @ Test_verify.suites)
+   @ Test_spans.suites @ Test_lint.suites @ Test_analysis.suites
+   @ Test_verify.suites)

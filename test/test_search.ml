@@ -206,6 +206,43 @@ let parallel_equivalence_ordered seed =
   in
   parallel_equivalence ~required seed
 
+(* The match index's contract: indexed exploration skips exactly the
+   (lexpr, rule) pairs whose match would bind nothing, so every
+   observable — matches, applications (by name, not just count), memo
+   shape, cost, canonical plan — is byte-identical with the index on or
+   off. *)
+let match_index_equivalence ?required seed =
+  let catalog, q = random_setup seed in
+  let run match_index =
+    let ctx = Search.create ~match_index (volcano_of catalog) in
+    (Search.optimize ?required ctx q, ctx)
+  in
+  let pi, ci = run true in
+  let pf, cf = run false in
+  Search.group_count ci = Search.group_count cf
+  && Memo.lexpr_count (Search.memo ci) = Memo.lexpr_count (Search.memo cf)
+  && Stats.trans_matched_count (Search.stats ci)
+     = Stats.trans_matched_count (Search.stats cf)
+  && Stats.trans_applied_names (Search.stats ci)
+     = Stats.trans_applied_names (Search.stats cf)
+  && Stats.impl_applied_names (Search.stats ci)
+     = Stats.impl_applied_names (Search.stats cf)
+  &&
+  match (pi, pf) with
+  | Some a, Some b ->
+    Float.equal (Plan.cost a) (Plan.cost b)
+    && String.equal
+         (Expr.fingerprint (Plan.to_expr a))
+         (Expr.fingerprint (Plan.to_expr b))
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+
+let match_index_equivalence_ordered seed =
+  let required =
+    D.of_list [ ("tuple_order", V.Order (O.sorted_on (attr "R1" "b"))) ]
+  in
+  match_index_equivalence ~required seed
+
 let qtest name prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~name ~count:40 QCheck2.Gen.(0 -- 10_000) prop)
@@ -224,6 +261,10 @@ let property_tests =
       (fun seed -> parallel_equivalence seed);
     qtest "parallel search equals sequential under a required order"
       parallel_equivalence_ordered;
+    qtest "the match index is byte-identical to trying every rule"
+      (fun seed -> match_index_equivalence seed);
+    qtest "the match index equals the full scan under a required order"
+      match_index_equivalence_ordered;
   ]
 
 (* Deterministic coverage for the two search knobs: the group-budget
@@ -307,6 +348,64 @@ let knob_tests =
             | None, None -> ()
             | _ -> Alcotest.fail "exploration mode changed plan existence")
           [ (W.Queries.Q1, 2); (W.Queries.Q3, 1); (W.Queries.Q5, 2) ]);
+    Alcotest.test_case "match index equals full scan on the OODB rule set"
+      `Quick (fun () ->
+        List.iter
+          (fun (q, joins) ->
+            let inst = W.Queries.instance q ~joins ~seed:101 in
+            let opt = Opt.oodb_prairie inst.W.Queries.catalog in
+            let expr, required = opt.Opt.prepare inst.W.Queries.expr in
+            let run match_index =
+              let ctx = Search.create ~match_index opt.Opt.volcano in
+              (Search.optimize ~required ctx expr, ctx)
+            in
+            let pi, ci = run true in
+            let pf, cf = run false in
+            Alcotest.(check int)
+              "same group count" (Search.group_count cf)
+              (Search.group_count ci);
+            Alcotest.(check (list string))
+              "same applied rules"
+              (Stats.trans_applied_names (Search.stats cf))
+              (Stats.trans_applied_names (Search.stats ci));
+            match (pi, pf) with
+            | Some a, Some b ->
+              checkf "same cost" (Plan.cost a) (Plan.cost b);
+              Alcotest.(check string)
+                "same plan"
+                (Expr.fingerprint (Plan.to_expr b))
+                (Expr.fingerprint (Plan.to_expr a))
+            | None, None -> ()
+            | _ -> Alcotest.fail "match index changed plan existence")
+          [ (W.Queries.Q1, 2); (W.Queries.Q3, 1); (W.Queries.Q5, 2) ]);
+    Alcotest.test_case "the match index never drops a rule" `Quick (fun () ->
+        (* every trans rule must be reachable through the index under its
+           own LHS root: the bucket for an operator-rooted rule, the
+           wildcard list (served for both stored files and operators with
+           no bucket) for a variable-rooted one — with its rs_trans
+           position intact, since that id keys the memo's tried table *)
+        let module Rule = Prairie_volcano.Rule in
+        List.iter
+          (fun rs ->
+            List.iteri
+              (fun i (tr : Rule.trans_rule) ->
+                let root = Prairie.Pattern.root_operator tr.Rule.tr_lhs in
+                let candidates = Rule.trans_rules_for rs root in
+                check
+                  (rs.Rule.rs_name ^ "/" ^ tr.Rule.tr_name ^ " indexed")
+                  true
+                  (List.exists
+                     (fun (j, (tr' : Rule.trans_rule)) ->
+                       j = i && String.equal tr'.Rule.tr_name tr.Rule.tr_name)
+                     candidates))
+              rs.Rule.rs_trans)
+          [
+            volcano_of (fst (random_setup 7));
+            (Opt.oodb_prairie
+               (W.Queries.instance W.Queries.Q5 ~joins:2 ~seed:101)
+                 .W.Queries.catalog)
+              .Opt.volcano;
+          ]);
     Alcotest.test_case "pruning:false matches pruning:true (OODB Q1/Q3)" `Quick
       (fun () ->
         List.iter
